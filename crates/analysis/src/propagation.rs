@@ -1,0 +1,138 @@
+//! Policy propagation across levels (paper §5.2, Lemma 5.1).
+//!
+//! Under the Monkey scheme the optimal policies of three consecutive levels
+//! satisfy
+//!
+//! ```text
+//! 1/K*_{i+1} = sqrt( 1/K*_i² + T · (1/K*_i² − 1/K*_{i−1}²) )
+//! ```
+//!
+//! so tuning only Levels 1 and 2 determines every deeper level — without
+//! knowing the system constants X, Y, Z. Under the uniform scheme every
+//! level shares the same read/write cost trade-off, so Level 1's learned
+//! policy is simply copied (Case 1).
+
+/// Continuous propagation from `k1`, `k2` to `levels` total levels.
+///
+/// Returns one (unrounded) policy per level. Values are clamped to
+/// `[1, t]`; if the monotonicity premise `K_i ≤ K_{i−1}` is violated the
+/// policy is carried forward unchanged (the lemma's precondition fails).
+pub fn propagate_continuous(k1: f64, k2: f64, t: f64, levels: usize) -> Vec<f64> {
+    assert!(levels >= 1);
+    assert!(k1 >= 1.0 && k2 >= 1.0 && t >= 2.0);
+    let mut ks = Vec::with_capacity(levels);
+    ks.push(k1.min(t));
+    if levels == 1 {
+        return ks;
+    }
+    ks.push(k2.min(t));
+    for i in 2..levels {
+        let prev = ks[i - 1];
+        let prev2 = ks[i - 2];
+        let inv2 = 1.0 / (prev * prev);
+        let diff = inv2 - 1.0 / (prev2 * prev2);
+        let next = if diff <= 0.0 {
+            // Premise K_i ≤ K_{i−1} violated (or equal): keep the policy.
+            prev
+        } else {
+            let inv_next_sq = inv2 + t * diff;
+            1.0 / inv_next_sq.sqrt()
+        };
+        ks.push(next.clamp(1.0, t));
+    }
+    ks
+}
+
+/// Integer propagation, rounding to the closest valid policy at each level
+/// (as the paper's worked example does: K1=9, K2=7 ⇒ K3≈3 ⇒ K4≈1).
+pub fn propagate_rounded(k1: u32, k2: u32, t: u32, levels: usize) -> Vec<u32> {
+    assert!(levels >= 1);
+    let mut ks: Vec<u32> = Vec::with_capacity(levels);
+    ks.push(k1.clamp(1, t));
+    if levels == 1 {
+        return ks;
+    }
+    ks.push(k2.clamp(1, t));
+    for i in 2..levels {
+        let prev = ks[i - 1] as f64;
+        let prev2 = ks[i - 2] as f64;
+        let inv2 = 1.0 / (prev * prev);
+        let diff = inv2 - 1.0 / (prev2 * prev2);
+        let next = if diff <= 0.0 {
+            prev
+        } else {
+            1.0 / (inv2 + t as f64 * diff).sqrt()
+        };
+        ks.push((next.round() as i64).clamp(1, t as i64) as u32);
+    }
+    ks
+}
+
+/// Case 1 (uniform bits-per-key): every level adopts Level 1's policy.
+pub fn uniform_propagation(k1: u32, t: u32, levels: usize) -> Vec<u32> {
+    vec![k1.clamp(1, t); levels]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §5.2: "tuning result of Level 1 and Level 2 are 9 and 7" with
+        // T = 10 gives K3 ≈ 3 and K4 ≈ 1.
+        let ks = propagate_rounded(9, 7, 10, 4);
+        assert_eq!(ks, vec![9, 7, 3, 1]);
+    }
+
+    #[test]
+    fn continuous_matches_paper_numbers() {
+        let ks = propagate_continuous(9.0, 7.0, 10.0, 3);
+        // 1/K3² = 1/49 + 10·(1/49 − 1/81) ⇒ K3 ≈ 3.146.
+        assert!((ks[2] - 3.146).abs() < 0.01, "K3 = {}", ks[2]);
+    }
+
+    #[test]
+    fn policies_never_increase_with_depth() {
+        for (k1, k2) in [(10, 9), (10, 7), (8, 5), (6, 6), (4, 2)] {
+            let ks = propagate_rounded(k1, k2, 10, 6);
+            for w in ks.windows(2) {
+                assert!(w[1] <= w[0], "{ks:?} not non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_policies_propagate_unchanged() {
+        let ks = propagate_rounded(5, 5, 10, 5);
+        assert_eq!(ks, vec![5; 5]);
+    }
+
+    #[test]
+    fn violated_premise_is_carried_forward() {
+        // K2 > K1 breaks the lemma's precondition; carry K2 onward.
+        let ks = propagate_rounded(3, 7, 10, 4);
+        assert_eq!(ks, vec![3, 7, 7, 7]);
+    }
+
+    #[test]
+    fn uniform_copies_level_one() {
+        assert_eq!(uniform_propagation(4, 10, 3), vec![4, 4, 4]);
+        assert_eq!(uniform_propagation(99, 10, 2), vec![10, 10]);
+    }
+
+    #[test]
+    fn bottoms_out_at_one() {
+        // Aggressive decline reaches K = 1 and stays there.
+        let ks = propagate_rounded(4, 2, 10, 8);
+        assert_eq!(*ks.last().unwrap(), 1);
+        let pos = ks.iter().position(|&k| k == 1).unwrap();
+        assert!(ks[pos..].iter().all(|&k| k == 1));
+    }
+
+    #[test]
+    fn clamped_to_t() {
+        let ks = propagate_rounded(30, 20, 10, 3);
+        assert!(ks.iter().all(|&k| (1..=10).contains(&k)));
+    }
+}

@@ -1,0 +1,90 @@
+//! One Criterion benchmark per paper table/figure, exercising the exact
+//! code path the `repro` binary uses at a reduced scale. These validate the
+//! harness end-to-end under `cargo bench`; the full-scale series come from
+//! `cargo run --release -p ruskey-bench --bin repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ruskey::runner::ExperimentScale;
+use ruskey_bench as exp;
+
+fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        load_entries: 5_000,
+        mission_size: 250,
+        missions: 12,
+        ..ExperimentScale::small()
+    }
+}
+
+fn table2(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table2_transition_costs", |b| {
+        b.iter(|| black_box(exp::table2(&scale)))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig6_static_workloads", |b| b.iter(|| black_box(exp::fig6(&scale))));
+}
+
+fn fig7(c: &mut Criterion) {
+    let scale = ExperimentScale { missions: 6, ..bench_scale() };
+    c.bench_function("fig7_dynamic_workload", |b| {
+        b.iter(|| {
+            let series = exp::fig7(&scale);
+            black_box(exp::ranking_from_series(&series, exp::FIG7_SESSIONS.len()))
+        })
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig8_monkey_scheme", |b| b.iter(|| black_box(exp::fig8(&scale))));
+}
+
+fn fig9(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig9_per_level_policies", |b| b.iter(|| black_box(exp::fig9(&scale))));
+}
+
+fn fig10(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig10_transition_methods", |b| b.iter(|| black_box(exp::fig10(&scale))));
+}
+
+fn fig11(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig11_ycsb", |b| {
+        b.iter(|| {
+            black_box(exp::fig11_abc(&scale));
+            black_box(exp::fig11_range(&scale))
+        })
+    });
+}
+
+fn fig12(c: &mut Criterion) {
+    let scale = ExperimentScale { missions: 4, ..bench_scale() };
+    c.bench_function("fig12_greedy_heuristics", |b| b.iter(|| black_box(exp::fig12(&scale))));
+}
+
+fn fig13(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig13_model_update_cost", |b| b.iter(|| black_box(exp::fig13(&scale))));
+}
+
+fn bruteforce(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("bruteforce_rl_comparison", |b| {
+        b.iter(|| black_box(exp::bruteforce(&scale)))
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, bruteforce
+}
+criterion_main!(paper);

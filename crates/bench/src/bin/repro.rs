@@ -1,0 +1,348 @@
+//! `repro` — regenerates every table and figure of the RusKey paper.
+//!
+//! ```text
+//! repro <experiment> [--scale small|full] [--csv DIR]
+//!
+//! experiments:
+//!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
+//!   bruteforce  all  ablations  lab
+//! ```
+//!
+//! Results print as aligned text tables; `--csv DIR` additionally writes
+//! the per-mission series as CSV files for plotting.
+
+use std::io::Write;
+
+use ruskey::runner::ExperimentScale;
+use ruskey_bench::*;
+
+struct Args {
+    experiment: String,
+    scale: ExperimentScale,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = repro_scale();
+    let mut csv_dir = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("full") => full_scale(),
+                    Some("small") | None => repro_scale(),
+                    Some("tiny") => ExperimentScale::tiny(),
+                    Some(other) => {
+                        eprintln!("unknown scale '{other}', using small");
+                        repro_scale()
+                    }
+                };
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = argv.get(i).cloned();
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    Args { experiment, scale, csv_dir }
+}
+
+/// The default reproduction scale (a few minutes for `all`).
+fn repro_scale() -> ExperimentScale {
+    ExperimentScale {
+        load_entries: 50_000,
+        mission_size: 1000,
+        missions: 300,
+        ..ExperimentScale::small()
+    }
+}
+
+/// A larger scale closer to the paper's proportions (tens of minutes).
+fn full_scale() -> ExperimentScale {
+    ExperimentScale {
+        load_entries: 200_000,
+        mission_size: 2000,
+        missions: 600,
+        ..ExperimentScale::small()
+    }
+}
+
+fn write_csv(dir: &Option<String>, name: &str, content: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{name}.csv");
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(content.as_bytes()).expect("write csv");
+        println!("  [csv] {path}");
+    }
+}
+
+fn run_table2(scale: &ExperimentScale) {
+    println!("== Table 2: transition costs and delays ==");
+    println!("(analytic case study: T=10, B=4096, E=1024, C=1024000, f=0.01, K=5->4, x=gamma=1/2)");
+    println!(
+        "{:<12}{:>16}{:>26}{:>26}",
+        "strategy", "analytic I/Os", "measured immediate pages", "measured additional pages"
+    );
+    for row in table2(scale) {
+        println!(
+            "{:<12}{:>16.2}{:>26}{:>26}",
+            row.strategy, row.analytic_ios, row.measured_immediate_pages, row.measured_additional_pages
+        );
+    }
+    println!();
+}
+
+fn run_comparisons(name: &str, comparisons: &[Comparison], csv: &Option<String>) {
+    println!("== {name} ==");
+    for c in comparisons {
+        print!("{}", comparison_summary(c, 0.4));
+        write_csv(csv, &format!("{name}_{}", c.workload), &series_csv(&c.series));
+        // Policy trace of RusKey (the paper's top subplots).
+        if let Some(rk) = c.series.iter().find(|s| s.method == "RusKey") {
+            let trace: Vec<u32> = rk
+                .records
+                .iter()
+                .step_by((rk.records.len() / 20).max(1))
+                .map(|r| r.policy_l1)
+                .collect();
+            println!("  RusKey K(L1) trace: {trace:?}");
+        }
+    }
+    println!();
+}
+
+fn run_fig7_table3(scale: &ExperimentScale, csv: &Option<String>) {
+    println!("== Fig 7: dynamic workload (5 sessions) + Table 3 ranking ==");
+    let series = fig7(scale);
+    write_csv(csv, "fig7", &series_csv(&series));
+    if let Some(rk) = series.iter().find(|s| s.method == "RusKey") {
+        let trace: Vec<(usize, u32)> = rk
+            .records
+            .iter()
+            .step_by((rk.records.len() / 25).max(1))
+            .map(|r| (r.session, r.policy_l1))
+            .collect();
+        println!("  RusKey (session, K(L1)) trace: {trace:?}");
+    }
+    let table = ranking_from_series(&series, FIG7_SESSIONS.len());
+    println!("{}", ranking_table(&table, &FIG7_SESSIONS));
+    println!();
+}
+
+fn run_fig9(scale: &ExperimentScale) {
+    println!("== Fig 9: per-level policies vs Lazy-Leveling (Monkey, balanced) ==");
+    for r in fig9(scale) {
+        println!(
+            "  {:<16} end-to-end {:.4} ms/op  policies {:?}",
+            r.method, r.end_to_end_ms_per_op, r.policies
+        );
+        let lv: Vec<String> = r
+            .per_level_ms_per_op
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("L{}={:.4}", i + 1, v))
+            .collect();
+        println!("    per-level ms/op: {}", lv.join("  "));
+    }
+    println!();
+}
+
+fn run_fig10(scale: &ExperimentScale, csv: &Option<String>) {
+    println!("== Fig 10: transition methods micro-benchmark (K=1 -> K=10 at midpoint) ==");
+    let series = fig10(scale);
+    write_csv(csv, "fig10", &series_csv(&series));
+    let half = scale.missions / 2;
+    println!(
+        "{:<12}{:>22}{:>22}{:>20}{:>16}",
+        "strategy", "peak write lat (s)", "mean write after (s)", "mean read after (s)", "total (s)"
+    );
+    for s in &series {
+        let after: Vec<_> = s.records.iter().filter(|r| r.mission >= half).collect();
+        let peak = after.iter().map(|r| r.write_latency_s).fold(0.0, f64::max);
+        let mw = after.iter().map(|r| r.write_latency_s).sum::<f64>() / after.len() as f64;
+        let mr = after.iter().map(|r| r.read_latency_s).sum::<f64>() / after.len() as f64;
+        let total: f64 = s
+            .records
+            .iter()
+            .map(|r| r.write_latency_s + r.read_latency_s)
+            .sum();
+        println!("{:<12}{:>22.4}{:>22.4}{:>20.4}{:>16.2}", s.method, peak, mw, mr, total);
+    }
+    println!("(paper: end-to-end 51s greedy / 44s lazy / 40s flexible; shapes should match)");
+    println!();
+}
+
+fn run_fig12(scale: &ExperimentScale, csv: &Option<String>) {
+    println!("== Fig 12: greedy threshold heuristics vs RusKey ==");
+    let series = fig12(scale);
+    write_csv(csv, "fig12", &series_csv(&series));
+    let table = ranking_from_series(&series, FIG7_SESSIONS.len());
+    println!("{}", ranking_table(&table, &FIG7_SESSIONS));
+    println!();
+}
+
+fn run_fig13(scale: &ExperimentScale) {
+    println!("== Fig 13: model update time vs LSM time per mission ==");
+    println!(
+        "{:<16}{:>18}{:>16}{:>18}{:>12}{:>20}",
+        "workload", "LSM virtual (s)", "LSM real (s)", "model real (s)", "model/LSM", "@50k-op missions"
+    );
+    for r in fig13(scale) {
+        println!(
+            "{:<16}{:>18.4}{:>16.4}{:>18.6}{:>11.2}%{:>19.3}%",
+            r.label,
+            r.lsm_virtual_s,
+            r.lsm_real_s,
+            r.model_real_s,
+            100.0 * r.ratio_measured(),
+            100.0 * r.ratio_at_paper_scale(),
+        );
+    }
+    println!("(the model update is a constant per mission; at the paper's 50 000-op missions its share");
+    println!(" drops to the last column — the paper reports <= 1%)");
+    println!();
+}
+
+fn run_ablations(scale: &ExperimentScale) {
+    println!("== Ablation: DDPG vs DQN as Lerp's learner ==");
+    for (workload, rows) in ablation_learner(scale) {
+        println!("  {workload}:");
+        for r in rows {
+            println!(
+                "    {:<14} tail {:.4} ms/op, converged at {:<8} final K(L1)={}",
+                r.label,
+                r.tail_latency_ms,
+                r.converged_at.map_or("never".into(), |m| m.to_string()),
+                r.final_k1
+            );
+        }
+    }
+    println!();
+    println!("== Ablation: block cache vs fixed policies (balanced workload) ==");
+    for r in ablation_cache(scale) {
+        println!("  {:<22} {:.4} ms/op", r.label, r.tail_latency_ms);
+    }
+    println!();
+    println!("== Ablation: white-box K* across device cost models ==");
+    println!("  {:<12}{:>14}{:>14}{:>14}", "device", "K*(γ=0.9)", "K*(γ=0.5)", "K*(γ=0.1)");
+    for (label, kr, kb, kw) in ablation_cost_model() {
+        println!("  {label:<12}{kr:>14}{kb:>14}{kw:>14}");
+    }
+    println!();
+    println!("== Ablation: reward mix α (write-heavy workload) ==");
+    for r in ablation_alpha(scale) {
+        println!(
+            "  {:<14} tail {:.4} ms/op, converged at {:<8} final K(L1)={}",
+            r.label,
+            r.tail_latency_ms,
+            r.converged_at.map_or("never".into(), |m| m.to_string()),
+            r.final_k1
+        );
+    }
+    println!();
+}
+
+fn run_bruteforce(scale: &ExperimentScale) {
+    println!("== Brute-force learning comparison (write-heavy workload) ==");
+    for r in bruteforce(scale) {
+        println!(
+            "  {:<36} converged: {:<5} at mission {:<8} tail latency {:.4} ms/op, model time {:.3}s",
+            r.method,
+            r.converged,
+            r.converged_at.map_or("never".into(), |m| m.to_string()),
+            r.tail_latency_ms,
+            r.model_update_s
+        );
+    }
+    println!();
+}
+
+/// Development aid: runs RusKey alone on one static workload, printing the
+/// policy trace and latency every 10 missions. Not part of the paper.
+fn run_lab(scale: &ExperimentScale) {
+    use ruskey::lerp::{Lerp, LerpConfig, PropagationScheme};
+    use ruskey::runner::run_static;
+    use ruskey_workload::OpMix;
+    for (label, mix) in [
+        ("write-heavy", OpMix::write_heavy()),
+        ("read-heavy", OpMix::read_heavy()),
+        ("balanced", OpMix::balanced()),
+    ] {
+        let spec = scale.spec().with_mix(mix);
+        let mut cfg = LerpConfig::paper_default(PropagationScheme::Uniform);
+        cfg.seed = scale.seed.wrapping_mul(31).wrapping_add(7);
+        let records = run_static(
+            ruskey::db::RusKeyConfig::scaled_default(),
+            scale,
+            Box::new(Lerp::new(cfg)),
+            spec,
+        );
+        println!("lab {label}: mission, K(L1), latency(ms/op), converged");
+        for r in records.iter().step_by(10) {
+            println!(
+                "  {:>4}  K={:<3} {:>8.4}  {}",
+                r.mission, r.policy_l1, r.latency_ms_per_op, r.converged
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = &args.scale;
+    let csv = &args.csv_dir;
+    println!(
+        "RusKey reproduction harness | load={} entries, mission={} ops, missions={}\n",
+        scale.load_entries, scale.mission_size, scale.missions
+    );
+    let t0 = std::time::Instant::now();
+    let want = |name: &str| args.experiment == name || args.experiment == "all";
+
+    if want("table2") {
+        run_table2(scale);
+    }
+    if want("fig6") {
+        run_comparisons("fig6_static_uniform", &fig6(scale), csv);
+    }
+    if want("fig7") || want("table3") {
+        run_fig7_table3(scale, csv);
+    }
+    if want("fig8") {
+        run_comparisons("fig8_static_monkey", &fig8(scale), csv);
+    }
+    if want("fig9") {
+        run_fig9(scale);
+    }
+    if want("fig10") {
+        run_fig10(scale, csv);
+    }
+    if want("fig11") {
+        run_comparisons("fig11_ycsb", &fig11_abc(scale), csv);
+        let range = fig11_range(scale);
+        run_comparisons("fig11d_range", std::slice::from_ref(&range), csv);
+    }
+    if want("fig12") {
+        run_fig12(scale, csv);
+    }
+    if want("fig13") {
+        run_fig13(scale);
+    }
+    if want("bruteforce") {
+        run_bruteforce(scale);
+    }
+    if args.experiment == "ablations" {
+        run_ablations(scale);
+    }
+    if args.experiment == "lab" {
+        run_lab(scale);
+    }
+    println!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

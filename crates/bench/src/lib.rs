@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `figN`/`tableN` function runs the corresponding experiment at a
+//! configurable scale and returns structured results; the `repro` binary
+//! prints them as aligned tables/CSV, and the Criterion benches execute
+//! reduced versions of the same code paths. See EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod output;
+
+pub use ablations::*;
+pub use experiments::*;
+pub use output::*;

@@ -1,0 +1,139 @@
+//! Plain-text table and CSV rendering for experiment results.
+
+use crate::experiments::{Comparison, RankingTable, Series};
+
+/// Renders a mission-series comparison as CSV: `mission,method,...`.
+pub fn series_csv(series: &[Series]) -> String {
+    let mut out = String::from(
+        "mission,session,method,latency_ms_per_op,write_latency_s,read_latency_s,policy_l1,converged\n",
+    );
+    for s in series {
+        for r in &s.records {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6},{},{}\n",
+                r.mission,
+                r.session,
+                s.method,
+                r.latency_ms_per_op,
+                r.write_latency_s,
+                r.read_latency_s,
+                r.policy_l1,
+                r.converged
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a comparison summary: per-method mean latency over the last
+/// `tail` fraction of missions, with the winner marked.
+pub fn comparison_summary(c: &Comparison, tail: f64) -> String {
+    let mut rows: Vec<(String, f64)> = c
+        .series
+        .iter()
+        .map(|s| {
+            let n = ((s.records.len() as f64 * tail).ceil() as usize).clamp(1, s.records.len());
+            let slice = &s.records[s.records.len() - n..];
+            let mean = slice.iter().map(|r| r.latency_ms_per_op).sum::<f64>() / slice.len() as f64;
+            (s.method.clone(), mean)
+        })
+        .collect();
+    let best = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::INFINITY, f64::min);
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut out = format!("workload: {}\n", c.workload);
+    for (m, v) in rows {
+        let marker = if (v - best).abs() < 1e-12 { "  <-- best" } else { "" };
+        out.push_str(&format!("  {m:<22} {v:>10.4} ms/op{marker}\n"));
+    }
+    out
+}
+
+/// Renders a [`RankingTable`] like the paper's Table 3.
+pub fn ranking_table(t: &RankingTable, session_labels: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28}", "Method"));
+    for l in session_labels {
+        out.push_str(&format!("{l:>16}"));
+    }
+    out.push_str(&format!("{:>12}\n", "Avg.Rank"));
+    for (m, method) in t.methods.iter().enumerate() {
+        out.push_str(&format!("{method:<28}"));
+        for s in 0..session_labels.len() {
+            out.push_str(&format!(
+                "{:>12.4}({})",
+                t.latency[m][s], t.ranks[m][s]
+            ));
+        }
+        out.push_str(&format!("{:>12.2}\n", t.avg_rank[m]));
+    }
+    out
+}
+
+/// Simple aligned two-column table.
+pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
+    let w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(8) + 2;
+    let mut out = format!("{title}\n");
+    for (k, v) in rows {
+        out.push_str(&format!("  {k:<w$}{v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruskey::runner::MissionRecord;
+
+    fn record(mission: usize, latency: f64) -> MissionRecord {
+        MissionRecord {
+            mission,
+            session: 0,
+            latency_ms_per_op: latency,
+            write_latency_s: 0.1,
+            read_latency_s: 0.2,
+            policy_l1: 3,
+            policies: vec![3],
+            model_update_ns: 5,
+            real_process_ns: 10,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = vec![Series { method: "X".into(), records: vec![record(0, 1.5), record(1, 2.0)] }];
+        let csv = series_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("mission,"));
+        assert!(lines[1].contains(",X,"));
+    }
+
+    #[test]
+    fn summary_marks_best() {
+        let c = Comparison {
+            workload: "w".into(),
+            series: vec![
+                Series { method: "slow".into(), records: vec![record(0, 5.0)] },
+                Series { method: "fast".into(), records: vec![record(0, 1.0)] },
+            ],
+        };
+        let s = comparison_summary(&c, 1.0);
+        let fast_line = s.lines().find(|l| l.contains("fast")).unwrap();
+        assert!(fast_line.contains("best"));
+        // Sorted ascending: fast before slow.
+        let fast_pos = s.find("fast").unwrap();
+        let slow_pos = s.find("slow").unwrap();
+        assert!(fast_pos < slow_pos);
+    }
+
+    #[test]
+    fn kv_table_aligns() {
+        let out = kv_table("T", &[("a".into(), "1".into()), ("long-key".into(), "2".into())]);
+        assert!(out.contains("T\n"));
+        assert!(out.contains("long-key"));
+    }
+}

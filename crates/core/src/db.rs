@@ -1,0 +1,291 @@
+//! The RusKey store: FLSM-tree + tuner + statistics collector (paper §3).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use ruskey_lsm::{BloomScheme, FlsmTree, LsmConfig, TransitionStrategy};
+use ruskey_storage::Storage;
+use ruskey_workload::Operation;
+
+use crate::lerp::{Lerp, LerpConfig, PropagationScheme};
+use crate::stats::{MissionReport, StatsCollector};
+use crate::tuner::{NoOpTuner, TreeObservation, Tuner};
+
+/// Configuration of a [`RusKey`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RusKeyConfig {
+    /// The underlying FLSM-tree configuration.
+    pub lsm: LsmConfig,
+    /// Lerp configuration (used by [`RusKey::with_lerp`]).
+    pub lerp: LerpConfig,
+}
+
+impl RusKeyConfig {
+    /// Scaled-down defaults matching the experiment setup (DESIGN.md §2);
+    /// uniform Bloom scheme.
+    pub fn scaled_default() -> Self {
+        Self {
+            lsm: LsmConfig::scaled_default(),
+            lerp: LerpConfig::paper_default(PropagationScheme::Uniform),
+        }
+    }
+
+    /// Scaled defaults under the Monkey scheme (Fig. 8/9 experiments). The
+    /// level-1 FPR is chosen so Monkey's total filter memory roughly matches
+    /// the uniform scheme's 8 bits/key over a 4-level tree, mirroring the
+    /// paper's bits-per-key adjustment (§7 "Implementation").
+    pub fn scaled_monkey() -> Self {
+        let mut cfg = Self::scaled_default();
+        cfg.lsm.bloom = BloomScheme::Monkey { level1_fpr: 1e-4 };
+        cfg.lerp = LerpConfig::paper_default(PropagationScheme::Monkey);
+        cfg
+    }
+
+    /// Sets the transition strategy.
+    pub fn with_transition(mut self, t: TransitionStrategy) -> Self {
+        self.lsm.transition = t;
+        self
+    }
+}
+
+/// An RL-tuned LSM-tree key-value store.
+pub struct RusKey {
+    tree: FlsmTree,
+    tuner: Box<dyn Tuner>,
+    collector: StatsCollector,
+    last_report: Option<MissionReport>,
+}
+
+impl RusKey {
+    /// Creates a store driven by an arbitrary tuner (fixed baselines,
+    /// greedy heuristics, …).
+    pub fn with_tuner(
+        cfg: RusKeyConfig,
+        storage: Arc<dyn Storage>,
+        tuner: Box<dyn Tuner>,
+    ) -> Self {
+        Self {
+            tree: FlsmTree::new(cfg.lsm, storage),
+            tuner,
+            collector: StatsCollector::new(),
+            last_report: None,
+        }
+    }
+
+    /// Creates a store tuned by Lerp (the RusKey system of the paper).
+    pub fn with_lerp(cfg: RusKeyConfig, storage: Arc<dyn Storage>) -> Self {
+        let lerp = Lerp::new(cfg.lerp.clone());
+        Self::with_tuner(cfg, storage, Box::new(lerp))
+    }
+
+    /// Creates an untuned store (whatever policies the tree starts with).
+    pub fn untuned(cfg: RusKeyConfig, storage: Arc<dyn Storage>) -> Self {
+        Self::with_tuner(cfg, storage, Box::new(NoOpTuner))
+    }
+
+    /// The tuner's display name.
+    pub fn tuner_name(&self) -> String {
+        self.tuner.name()
+    }
+
+    /// Whether the tuner reports convergence.
+    pub fn tuner_converged(&self) -> bool {
+        self.tuner.converged()
+    }
+
+    /// Cumulative model-update time (Fig. 13).
+    pub fn model_update_ns(&self) -> u64 {
+        self.tuner.model_update_ns()
+    }
+
+    /// Direct access to the underlying tree.
+    pub fn tree(&self) -> &FlsmTree {
+        &self.tree
+    }
+
+    /// Mutable access to the underlying tree (experiments toggling
+    /// transition strategies etc.).
+    pub fn tree_mut(&mut self) -> &mut FlsmTree {
+        &mut self.tree
+    }
+
+    /// The report of the last processed mission.
+    pub fn last_report(&self) -> Option<&MissionReport> {
+        self.last_report.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Plain KV interface (outside missions)
+    // ------------------------------------------------------------------
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        self.tree.get(key)
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.tree.put(key, value);
+    }
+
+    /// Delete.
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        self.tree.delete(key);
+    }
+
+    /// Range scan over `[start, end)` with a result limit.
+    pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Bytes, Bytes)> {
+        self.tree.scan(start, end, limit)
+    }
+
+    // ------------------------------------------------------------------
+    // Mission-driven operation (the paper's workflow, Fig. 1)
+    // ------------------------------------------------------------------
+
+    /// Bulk-loads the store and resets the statistics baseline so mission
+    /// reports exclude the load.
+    pub fn bulk_load(&mut self, pairs: Vec<(Bytes, Bytes)>) {
+        self.tree.bulk_load(pairs);
+        self.collector.baseline(self.tree.stats());
+    }
+
+    /// Snapshot of the tree structure for tuners.
+    pub fn observe(&self) -> TreeObservation {
+        let n = self.tree.level_count();
+        TreeObservation {
+            policies: self.tree.policies(),
+            fills: (0..n).map(|i| self.tree.level_fill(i)).collect(),
+            run_counts: (0..n).map(|i| self.tree.level_run_count(i)).collect(),
+            size_ratio: self.tree.config().size_ratio,
+            level_count: n,
+        }
+    }
+
+    /// Processes one mission: executes the operations, builds the mission
+    /// report, lets the tuner act, and applies its policy changes via the
+    /// configured transition.
+    pub fn run_mission(&mut self, ops: &[Operation]) -> MissionReport {
+        let t0 = Instant::now();
+        for op in ops {
+            match op {
+                Operation::Get { key } => {
+                    self.tree.get(key);
+                }
+                Operation::Put { key, value } => {
+                    self.tree.put(key.clone(), value.clone());
+                }
+                Operation::Delete { key } => {
+                    self.tree.delete(key.clone());
+                }
+                Operation::Scan { start, end, limit } => {
+                    self.tree.scan(start, end, *limit);
+                }
+            }
+        }
+        let process_ns = t0.elapsed().as_nanos() as u64;
+        let mut report = self.collector.report_mission(self.tree.stats(), process_ns);
+
+        let model_before = self.tuner.model_update_ns();
+        let obs = self.observe();
+        let changes = self.tuner.tune(&report, &obs);
+        for (level, k) in changes {
+            self.tree.set_policy(level, k);
+        }
+        report.model_update_ns = self.tuner.model_update_ns().saturating_sub(model_before);
+        report.policies_after = self.tree.policies();
+        self.last_report = Some(report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::FixedPolicy;
+    use ruskey_storage::{CostModel, SimulatedDisk};
+    use ruskey_workload::{bulk_load_pairs, OpGenerator, OpMix, WorkloadSpec};
+
+    fn small_cfg() -> RusKeyConfig {
+        let mut cfg = RusKeyConfig::scaled_default();
+        cfg.lsm.buffer_bytes = 4096;
+        cfg.lsm.size_ratio = 4;
+        cfg
+    }
+
+    fn disk() -> Arc<SimulatedDisk> {
+        SimulatedDisk::new(512, CostModel::NVME)
+    }
+
+    #[test]
+    fn kv_roundtrip() {
+        let mut db = RusKey::with_lerp(small_cfg(), disk());
+        db.put(&b"alpha"[..], &b"1"[..]);
+        db.put(&b"beta"[..], &b"2"[..]);
+        assert_eq!(db.get(b"alpha").as_deref(), Some(&b"1"[..]));
+        db.delete(&b"alpha"[..]);
+        assert_eq!(db.get(b"alpha"), None);
+        assert_eq!(db.scan(b"a", b"z", 10).len(), 1);
+    }
+
+    #[test]
+    fn missions_report_composition_and_latency() {
+        let mut db = RusKey::with_tuner(small_cfg(), disk(), Box::new(FixedPolicy::moderate()));
+        db.bulk_load(bulk_load_pairs(500, 16, 48, 1));
+        let spec = WorkloadSpec {
+            key_space: 500,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(500)
+        }
+        .with_mix(OpMix::read_heavy());
+        let mut g = OpGenerator::new(spec, 2);
+        for i in 0..3 {
+            let ops = g.take_ops(200);
+            let r = db.run_mission(&ops);
+            assert_eq!(r.ops, 200, "mission {i}");
+            assert!((r.gamma() - 0.9).abs() < 0.08, "gamma {}", r.gamma());
+            assert!(r.end_to_end_ns > 0);
+            assert!(!r.policies_after.is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_tuner_applies_policy_in_first_mission() {
+        let mut db = RusKey::with_tuner(small_cfg(), disk(), Box::new(FixedPolicy::new(4)));
+        db.bulk_load(bulk_load_pairs(500, 16, 48, 1));
+        let spec = WorkloadSpec { key_space: 500, value_len: 48, ..WorkloadSpec::scaled_default(500) };
+        let mut g = OpGenerator::new(spec, 2);
+        let r = db.run_mission(&g.take_ops(100));
+        assert!(r.policies_after.iter().all(|&k| k == 4), "{:?}", r.policies_after);
+    }
+
+    #[test]
+    fn bulk_load_excluded_from_first_mission() {
+        let mut db = RusKey::untuned(small_cfg(), disk());
+        db.bulk_load(bulk_load_pairs(2000, 16, 48, 1));
+        let spec = WorkloadSpec { key_space: 2000, value_len: 48, ..WorkloadSpec::scaled_default(2000) }
+            .with_mix(OpMix::reads(1.0));
+        let mut g = OpGenerator::new(spec, 2);
+        let r = db.run_mission(&g.take_ops(50));
+        // 50 pure lookups: a tiny latency compared to loading 2000 entries.
+        assert_eq!(r.ops, 50);
+        assert_eq!(r.updates, 0);
+        assert!(r.end_to_end_ns < 50 * 1_000_000, "bulk load leaked into mission");
+    }
+
+    #[test]
+    fn lerp_store_tracks_model_time() {
+        let mut db = RusKey::with_lerp(small_cfg(), disk());
+        db.bulk_load(bulk_load_pairs(500, 16, 48, 1));
+        let spec = WorkloadSpec { key_space: 500, value_len: 48, ..WorkloadSpec::scaled_default(500) };
+        let mut g = OpGenerator::new(spec, 2);
+        let mut total_model = 0;
+        for _ in 0..3 {
+            let r = db.run_mission(&g.take_ops(100));
+            total_model += r.model_update_ns;
+        }
+        assert!(total_model > 0);
+        assert!(db.model_update_ns() > 0);
+        assert_eq!(db.tuner_name(), "ruskey-lerp");
+    }
+}

@@ -1,0 +1,233 @@
+//! A DQN-based variant of Lerp, for the DDPG-vs-DQN ablation.
+//!
+//! The paper picks DDPG because it "has been shown to be more effective
+//! compared with the classic models such as DQN" (§5.1.4). This tuner swaps
+//! Lerp's inner learner for a [`Dqn`] over the discrete `ΔK ∈ {-1, 0, +1}`
+//! space while keeping the same state featurization, smoothed reward, and
+//! level-based + propagation structure (uniform scheme, Level 1 only), so
+//! the two learners can be compared like-for-like by the ablation
+//! benchmark.
+
+use std::time::Instant;
+
+use ruskey_analysis::propagation::uniform_propagation;
+use ruskey_rl::{Dqn, DqnConfig};
+
+use crate::state::{level_state, LEVEL_STATE_DIM};
+use crate::stats::MissionReport;
+use crate::tuner::{RewardScale, TreeObservation, Tuner};
+
+/// Lerp with a DQN learner (uniform scheme, tunes Level 1 only).
+pub struct DqnLerp {
+    agent: Dqn,
+    /// `(state, action)` awaiting its reward.
+    pending: Option<(Vec<f32>, usize)>,
+    reward_scale: RewardScale,
+    cost_ema: Option<f64>,
+    alpha: f64,
+    reward_smoothing: f64,
+    stability_window: usize,
+    min_tune_missions: usize,
+    train_steps_per_mission: usize,
+    greedy_targets: std::collections::VecDeque<u32>,
+    missions_in_phase: usize,
+    converged_k: Option<u32>,
+    update_ns: u64,
+}
+
+impl DqnLerp {
+    /// Creates the tuner with Lerp-equivalent hyperparameters.
+    pub fn new(seed: u64) -> Self {
+        let mut cfg = DqnConfig::paper_default(LEVEL_STATE_DIM, 3);
+        cfg.seed = seed;
+        Self {
+            agent: Dqn::new(cfg),
+            pending: None,
+            reward_scale: RewardScale::default(),
+            cost_ema: None,
+            alpha: 0.85,
+            reward_smoothing: 0.3,
+            stability_window: 15,
+            min_tune_missions: 60,
+            train_steps_per_mission: 8,
+            greedy_targets: std::collections::VecDeque::new(),
+            missions_in_phase: 0,
+            converged_k: None,
+            update_ns: 0,
+        }
+    }
+
+    /// The converged policy, if any.
+    pub fn converged_policy(&self) -> Option<u32> {
+        self.converged_k
+    }
+}
+
+impl Tuner for DqnLerp {
+    fn name(&self) -> String {
+        "ruskey-lerp-dqn".into()
+    }
+
+    fn tune(&mut self, report: &MissionReport, obs: &TreeObservation) -> Vec<(usize, u32)> {
+        let t0 = Instant::now();
+        if obs.level_count == 0 {
+            return Vec::new();
+        }
+        if let Some(k) = self.converged_k {
+            // Maintain the propagated layout.
+            let out = uniform_propagation(k, obs.size_ratio, obs.level_count)
+                .into_iter()
+                .enumerate()
+                .filter(|&(l, want)| obs.policies.get(l) != Some(&want))
+                .collect();
+            self.update_ns += t0.elapsed().as_nanos() as u64;
+            return out;
+        }
+
+        self.missions_in_phase += 1;
+        let state = level_state(report, obs, 0);
+        let raw_cost = self.alpha * report.level_ns_per_op(0)
+            + (1.0 - self.alpha) * report.ns_per_op();
+        let cost = match self.cost_ema {
+            Some(prev) => {
+                let c = (1.0 - self.reward_smoothing) * prev + self.reward_smoothing * raw_cost;
+                self.cost_ema = Some(c);
+                c
+            }
+            None => {
+                self.cost_ema = Some(raw_cost);
+                raw_cost
+            }
+        };
+        let reward = self.reward_scale.reward(cost);
+
+        if let Some((s, a)) = self.pending.take() {
+            self.agent.observe(s, a, reward, state.clone());
+            for _ in 0..self.train_steps_per_mission {
+                self.agent.train_step();
+            }
+        }
+
+        let current_k = obs.policies[0];
+        let greedy_delta = self.agent.act(&state) as i64 - 1;
+        let greedy_target =
+            (current_k as i64 + greedy_delta).clamp(1, obs.size_ratio as i64) as u32;
+        self.greedy_targets.push_back(greedy_target);
+        while self.greedy_targets.len() > self.stability_window {
+            self.greedy_targets.pop_front();
+        }
+
+        let action = self.agent.act_explore(&state);
+        let delta = action as i64 - 1; // actions 0,1,2 -> ΔK -1,0,+1
+        let new_k = (current_k as i64 + delta).clamp(1, obs.size_ratio as i64) as u32;
+        self.pending = Some((state, action));
+
+        let band_stable = self.greedy_targets.len() >= self.stability_window && {
+            let min = *self.greedy_targets.iter().min().unwrap();
+            let max = *self.greedy_targets.iter().max().unwrap();
+            max - min <= 1
+        };
+        let out = if band_stable && self.missions_in_phase >= self.min_tune_missions {
+            let mut sorted: Vec<u32> = self.greedy_targets.iter().copied().collect();
+            sorted.sort_unstable();
+            let k = sorted[sorted.len() / 2];
+            self.converged_k = Some(k);
+            uniform_propagation(k, obs.size_ratio, obs.level_count)
+                .into_iter()
+                .enumerate()
+                .filter(|&(l, want)| obs.policies.get(l) != Some(&want))
+                .collect()
+        } else if new_k != current_k {
+            vec![(0, new_k)]
+        } else {
+            Vec::new()
+        };
+        self.update_ns += t0.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn model_update_ns(&self) -> u64 {
+        self.update_ns
+    }
+
+    fn converged(&self) -> bool {
+        self.converged_k.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LevelMissionStats;
+
+    fn obs(policies: Vec<u32>) -> TreeObservation {
+        let n = policies.len();
+        TreeObservation {
+            policies,
+            fills: vec![0.5; n],
+            run_counts: vec![2; n],
+            size_ratio: 10,
+            level_count: n,
+        }
+    }
+
+    fn report(cost: f64, levels: usize) -> MissionReport {
+        MissionReport {
+            ops: 1000,
+            lookups: 500,
+            updates: 500,
+            end_to_end_ns: (cost * 1000.0) as u64,
+            levels: vec![
+                LevelMissionStats { latency_ns: (cost * 500.0) as u64, ..Default::default() };
+                levels
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn converges_on_flat_cost_and_propagates() {
+        let mut t = DqnLerp::new(7);
+        let mut policies = vec![3u32, 3, 3];
+        for _ in 0..400 {
+            let r = report(1_000_000.0, policies.len());
+            let changes = t.tune(&r, &obs(policies.clone()));
+            for (l, k) in changes {
+                policies[l] = k;
+            }
+            if t.converged() {
+                break;
+            }
+        }
+        assert!(t.converged(), "DQN Lerp failed to converge on a flat cost");
+        let k = t.converged_policy().unwrap();
+        assert!(policies.iter().all(|&p| p == k), "{policies:?} != {k}");
+    }
+
+    #[test]
+    fn bounded_policies() {
+        let mut t = DqnLerp::new(9);
+        let mut policies = vec![1u32, 1];
+        for _ in 0..50 {
+            let r = report(1e6, 2);
+            for (l, k) in t.tune(&r, &obs(policies.clone())) {
+                assert!((1..=10).contains(&k));
+                policies[l] = k;
+            }
+        }
+    }
+
+    #[test]
+    fn handles_empty_tree() {
+        let mut t = DqnLerp::new(1);
+        let r = MissionReport::default();
+        let o = TreeObservation {
+            policies: vec![],
+            fills: vec![],
+            run_counts: vec![],
+            size_ratio: 10,
+            level_count: 0,
+        };
+        assert!(t.tune(&r, &o).is_empty());
+    }
+}

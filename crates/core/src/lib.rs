@@ -1,0 +1,47 @@
+//! **RusKey** — an RL-tuned LSM-tree key-value store for dynamic workloads.
+//!
+//! Reproduction of *"Learning to Optimize LSM-trees: Towards A Reinforcement
+//! Learning based Key-Value Store for Dynamic Workloads"* (Mo, Chen, Luo,
+//! Shan; SIGMOD 2023, arXiv:2308.07013).
+//!
+//! RusKey processes an application workload (lookups/updates/scans) in
+//! *missions*; after each mission its tuning model adjusts the per-level
+//! compaction policies of the underlying [FLSM-tree](ruskey_lsm::FlsmTree)
+//! using the flexible transition of §4. Two tuning models matter:
+//!
+//! * [`lerp::Lerp`] — the paper's level-based DDPG model with policy
+//!   propagation (§5): it learns Level 1 (and Level 2 under the Monkey
+//!   scheme), then extends the learned policy to all deeper levels
+//!   analytically (Lemma 5.1);
+//! * the baseline [`tuner::Tuner`]s — fixed policies (Aggressive/Moderate/
+//!   Lazy), Dostoevsky's Lazy-Leveling, greedy threshold heuristics
+//!   (Fig. 12), and brute-force RL variants (§7) for comparison.
+//!
+//! ```
+//! use ruskey::db::{RusKey, RusKeyConfig};
+//! use ruskey_storage::{CostModel, SimulatedDisk};
+//!
+//! let disk = SimulatedDisk::new(4096, CostModel::NVME);
+//! let mut db = RusKey::with_lerp(RusKeyConfig::scaled_default(), disk);
+//! db.put(&b"k"[..], &b"v"[..]);
+//! assert_eq!(db.get(b"k").as_deref(), Some(&b"v"[..]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod dqn_lerp;
+pub mod lerp;
+pub mod runner;
+pub mod state;
+pub mod stats;
+pub mod tuner;
+
+pub use db::{RusKey, RusKeyConfig};
+pub use dqn_lerp::DqnLerp;
+pub use lerp::{Lerp, LerpConfig};
+pub use stats::{LevelMissionStats, MissionReport, StatsCollector};
+pub use tuner::{
+    BruteForceLerp, FixedPolicy, GreedyHeuristic, LazyLeveling, NoOpTuner, PerLevelNoPropagation,
+    TreeObservation, Tuner,
+};

@@ -1,0 +1,209 @@
+//! The statistics collector (paper §3.1).
+//!
+//! RusKey "maintains a statistics collector that keeps track of necessary
+//! statistics of RusKey and application workload over time. Besides overall
+//! statistics of the FLSM-tree, it tracks statistics separately for each
+//! FLSM-tree level to support the level-based training scheme in Lerp. It
+//! also collects the operation composition in each mission for detecting
+//! changes in the application workload."
+
+use ruskey_lsm::TreeStatsSnapshot;
+
+/// Per-level statistics of one mission.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LevelMissionStats {
+    /// Level-based latency `t_i` during the mission (virtual ns).
+    pub latency_ns: u64,
+    /// Lookup time within `t_i`.
+    pub lookup_ns: u64,
+    /// Compaction time within `t_i`.
+    pub compact_ns: u64,
+    /// Pages read in the level (lookups + compactions).
+    pub pages_read: u64,
+    /// Pages written in the level (compactions).
+    pub pages_written: u64,
+    /// Run probes in the level.
+    pub probes: u64,
+    /// Bloom false positives in the level.
+    pub false_positives: u64,
+    /// Keys processed by compactions attributed to the level.
+    pub compact_keys: u64,
+}
+
+/// Everything RusKey knows about one processed mission.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MissionReport {
+    /// Mission ordinal (0-based).
+    pub mission_idx: u64,
+    /// Operations in the mission.
+    pub ops: u64,
+    /// Lookups (gets) in the mission.
+    pub lookups: u64,
+    /// Updates (puts + deletes) in the mission.
+    pub updates: u64,
+    /// Range scans in the mission.
+    pub scans: u64,
+    /// End-to-end latency `t'` of the mission (virtual ns).
+    pub end_to_end_ns: u64,
+    /// Per-level statistics (index 0 = the paper's Level 1).
+    pub levels: Vec<LevelMissionStats>,
+    /// Real wall-clock time spent processing the mission (ns) — used by the
+    /// Fig. 13 model-cost comparison.
+    pub real_process_ns: u64,
+    /// Real wall-clock time the tuner spent updating its model (ns).
+    pub model_update_ns: u64,
+    /// Policies in force *after* the tuner acted.
+    pub policies_after: Vec<u32>,
+}
+
+impl MissionReport {
+    /// Lookup fraction `γ` of the mission (scans count as lookups).
+    pub fn gamma(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        (self.lookups + self.scans) as f64 / self.ops as f64
+    }
+
+    /// Mean end-to-end latency per operation (virtual ns).
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.end_to_end_ns as f64 / self.ops as f64
+    }
+
+    /// Mean level latency per operation for level `idx` (virtual ns).
+    pub fn level_ns_per_op(&self, idx: usize) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.levels.get(idx).map_or(0.0, |l| l.latency_ns as f64) / self.ops as f64
+    }
+}
+
+/// Builds [`MissionReport`]s from tree-statistics snapshots.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    missions: u64,
+    last_snapshot: TreeStatsSnapshot,
+}
+
+impl StatsCollector {
+    /// Creates a collector; call [`StatsCollector::baseline`] once before
+    /// the first mission.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of missions reported so far.
+    pub fn missions(&self) -> u64 {
+        self.missions
+    }
+
+    /// Records the pre-experiment statistics baseline (e.g. after bulk load)
+    /// so the first mission's delta excludes setup work.
+    pub fn baseline(&mut self, snapshot: TreeStatsSnapshot) {
+        self.last_snapshot = snapshot;
+    }
+
+    /// Builds the report for the mission that just finished, given the tree
+    /// snapshot at its end.
+    pub fn report_mission(
+        &mut self,
+        end_snapshot: TreeStatsSnapshot,
+        real_process_ns: u64,
+    ) -> MissionReport {
+        let d = end_snapshot.delta(&self.last_snapshot);
+        let levels = d
+            .levels
+            .iter()
+            .map(|l| LevelMissionStats {
+                latency_ns: l.total_ns(),
+                lookup_ns: l.lookup_ns,
+                compact_ns: l.compact_ns,
+                pages_read: l.lookup_pages + l.compact_pages_read,
+                pages_written: l.compact_pages_written,
+                probes: l.probes,
+                false_positives: l.false_positives,
+                compact_keys: l.compact_keys,
+            })
+            .collect();
+        let report = MissionReport {
+            mission_idx: self.missions,
+            ops: d.lookups + d.updates + d.scans,
+            lookups: d.lookups,
+            updates: d.updates,
+            scans: d.scans,
+            end_to_end_ns: d.clock_ns,
+            levels,
+            real_process_ns,
+            model_update_ns: 0,
+            policies_after: Vec::new(),
+        };
+        self.missions += 1;
+        self.last_snapshot = end_snapshot;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruskey_lsm::LevelStatsSnapshot;
+
+    fn snap(lookups: u64, updates: u64, clock: u64, lvl_ns: u64) -> TreeStatsSnapshot {
+        TreeStatsSnapshot {
+            lookups,
+            updates,
+            scans: 0,
+            flushes: 0,
+            clock_ns: clock,
+            levels: vec![LevelStatsSnapshot {
+                lookup_ns: lvl_ns,
+                ..Default::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn reports_are_deltas() {
+        let mut c = StatsCollector::new();
+        c.baseline(snap(10, 10, 1000, 100));
+        let r = c.report_mission(snap(15, 25, 4000, 400), 7);
+        assert_eq!(r.ops, 20);
+        assert_eq!(r.lookups, 5);
+        assert_eq!(r.updates, 15);
+        assert_eq!(r.end_to_end_ns, 3000);
+        assert_eq!(r.levels[0].latency_ns, 300);
+        assert_eq!(r.real_process_ns, 7);
+        assert_eq!(r.mission_idx, 0);
+        // Second mission starts from the last snapshot.
+        let r2 = c.report_mission(snap(16, 26, 4100, 410), 3);
+        assert_eq!(r2.ops, 2);
+        assert_eq!(r2.mission_idx, 1);
+    }
+
+    #[test]
+    fn gamma_and_per_op() {
+        let r = MissionReport {
+            ops: 100,
+            lookups: 90,
+            updates: 10,
+            end_to_end_ns: 5000,
+            levels: vec![LevelMissionStats { latency_ns: 1000, ..Default::default() }],
+            ..Default::default()
+        };
+        assert!((r.gamma() - 0.9).abs() < 1e-12);
+        assert!((r.ns_per_op() - 50.0).abs() < 1e-12);
+        assert!((r.level_ns_per_op(0) - 10.0).abs() < 1e-12);
+        assert_eq!(r.level_ns_per_op(5), 0.0);
+    }
+
+    #[test]
+    fn empty_mission_is_safe() {
+        let r = MissionReport::default();
+        assert_eq!(r.gamma(), 0.0);
+        assert_eq!(r.ns_per_op(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Bloom filters.
+//!
+//! One filter per sorted run, probed before any disk access (paper §2). The
+//! implementation uses the classic double-hashing scheme (Kirsch &
+//! Mitzenmacher): two independent 64-bit hashes `h1`, `h2` generate the `k`
+//! probe positions `h1 + i·h2`. The number of hash functions is derived from
+//! the bits-per-key as `k = round(bits · ln 2)`, as in LevelDB/RocksDB.
+
+/// Analytic false-positive rate for a filter with `bits_per_key` bits/key.
+///
+/// `f = (1 − e^{−k/bpk·...})^k ≈ 0.6185^{bits_per_key}` at the optimal `k`.
+pub fn fpr_for_bits(bits_per_key: f64) -> f64 {
+    if bits_per_key <= 0.0 {
+        return 1.0;
+    }
+    let k = (bits_per_key * std::f64::consts::LN_2).round().max(1.0);
+    (1.0 - (-k / bits_per_key).exp()).powf(k)
+}
+
+/// Bits-per-key needed for a target false-positive rate.
+///
+/// Inverse of the optimum `f = 2^{−bits·ln2}`: `bits = −ln f / (ln 2)²`.
+pub fn bits_for_fpr(fpr: f64) -> f64 {
+    if fpr >= 1.0 {
+        return 0.0;
+    }
+    let f = fpr.max(1e-12);
+    -f.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)
+}
+
+/// 64-bit FNV-1a hash with a seed, used as the base hash pair.
+fn fnv1a64(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Final avalanche (splitmix64 finalizer) to decorrelate the seeds.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// A Bloom filter over a fixed set of keys.
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+    keys: u64,
+}
+
+impl Bloom {
+    /// Builds a filter for `keys` with the given bits-per-key budget.
+    ///
+    /// `bits_per_key == 0` produces a degenerate always-positive filter
+    /// (Monkey assigns zero memory to the deepest levels when `f_i ≥ 1`).
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: f64) -> Self {
+        if bits_per_key <= 0.0 || n_keys == 0 {
+            return Self {
+                bits: Vec::new(),
+                nbits: 0,
+                k: 0,
+                keys: n_keys as u64,
+            };
+        }
+        let nbits = ((n_keys as f64 * bits_per_key).ceil() as u64).max(64);
+        let k = ((bits_per_key * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
+        let mut filter = Self {
+            bits: vec![0u64; nbits.div_ceil(64) as usize],
+            nbits,
+            k,
+            keys: n_keys as u64,
+        };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let h1 = fnv1a64(key, 0x51_7c_c1_b7);
+        let h2 = fnv1a64(key, 0x85_eb_ca_6b) | 1;
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Probes the filter. `true` means "maybe present"; `false` is definite.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        if self.nbits == 0 {
+            return true; // zero-memory filter: always positive
+        }
+        let h1 = fnv1a64(key, 0x51_7c_c1_b7);
+        let h2 = fnv1a64(key, 0x85_eb_ca_6b) | 1;
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Number of keys the filter was built over.
+    pub fn key_count(&self) -> u64 {
+        self.keys
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_be_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<[u8; 8]> = (0..1000).map(key).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 10.0);
+        for k in &keys {
+            assert!(bloom.contains(k));
+        }
+    }
+
+    #[test]
+    fn measured_fpr_tracks_analytic() {
+        let n = 10_000u64;
+        for bits in [4.0, 8.0, 10.0] {
+            let keys: Vec<[u8; 8]> = (0..n).map(key).collect();
+            let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), bits);
+            let mut fp = 0u64;
+            let probes = 20_000u64;
+            for i in 0..probes {
+                if bloom.contains(&key(n + i)) {
+                    fp += 1;
+                }
+            }
+            let measured = fp as f64 / probes as f64;
+            let analytic = fpr_for_bits(bits);
+            // Within a factor of two of the analytic optimum.
+            assert!(
+                measured < analytic * 2.0 + 0.002,
+                "bits={bits}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bits_always_positive() {
+        let keys: Vec<[u8; 8]> = (0..10).map(key).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 0.0);
+        assert!(bloom.contains(&key(12345)));
+        assert_eq!(bloom.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn bits_fpr_inverses() {
+        for bits in [4.0, 8.0, 12.0] {
+            let f = fpr_for_bits(bits);
+            let back = bits_for_fpr(f);
+            assert!((back - bits).abs() < 1.0, "bits={bits} f={f} back={back}");
+        }
+        assert_eq!(bits_for_fpr(1.0), 0.0);
+        assert_eq!(fpr_for_bits(0.0), 1.0);
+    }
+
+    #[test]
+    fn memory_scales_with_keys() {
+        let keys: Vec<[u8; 8]> = (0..1024).map(key).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 8.0);
+        // 1024 keys * 8 bits = 8192 bits = 1024 bytes (rounded to u64 words).
+        assert!(bloom.memory_bytes() >= 1024 && bloom.memory_bytes() <= 1032);
+        assert_eq!(bloom.key_count(), 1024);
+    }
+}

@@ -1,0 +1,224 @@
+//! K-way merging of sorted entry sources.
+//!
+//! Compaction sort-merges multiple sorted runs into one, keeping only the
+//! newest version (highest sequence number) of each key, and physically
+//! dropping tombstones when the merge output lands in the tree's bottom
+//! level (below which no older version can exist).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::types::{Key, KvEntry};
+
+/// A sorted source of entries for merging.
+pub type EntrySource = Box<dyn Iterator<Item = KvEntry>>;
+
+struct HeapItem {
+    key: Key,
+    seq: u64,
+    source: usize,
+    entry: KvEntry,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest key first, and for
+        // equal keys the *highest* sequence number first (so the winner is
+        // popped before its stale duplicates).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| self.seq.cmp(&other.seq))
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+
+/// Streaming k-way merge over sorted sources with version resolution.
+pub struct MergeIterator {
+    heap: BinaryHeap<HeapItem>,
+    sources: Vec<EntrySource>,
+    drop_tombstones: bool,
+    /// Number of input entries consumed (for `c_w` CPU accounting).
+    pub entries_in: u64,
+    /// Number of entries emitted.
+    pub entries_out: u64,
+}
+
+impl MergeIterator {
+    /// Creates a merge over `sources`; each must yield strictly ascending
+    /// keys. If `drop_tombstones` is set, delete markers are elided from the
+    /// output (only valid when merging into the bottom level).
+    pub fn new(sources: Vec<EntrySource>, drop_tombstones: bool) -> Self {
+        let mut m = Self {
+            heap: BinaryHeap::with_capacity(sources.len()),
+            sources,
+            drop_tombstones,
+            entries_in: 0,
+            entries_out: 0,
+        };
+        for i in 0..m.sources.len() {
+            m.pull(i);
+        }
+        m
+    }
+
+    fn pull(&mut self, source: usize) {
+        if let Some(entry) = self.sources[source].next() {
+            self.entries_in += 1;
+            self.heap.push(HeapItem {
+                key: entry.key.clone(),
+                seq: entry.seq,
+                source,
+                entry,
+            });
+        }
+    }
+}
+
+impl Iterator for MergeIterator {
+    type Item = KvEntry;
+
+    fn next(&mut self) -> Option<KvEntry> {
+        loop {
+            let top = self.heap.pop()?;
+            self.pull(top.source);
+            // Discard stale versions of the same key.
+            while let Some(peek) = self.heap.peek() {
+                if peek.key != top.key {
+                    break;
+                }
+                let stale = self.heap.pop().unwrap();
+                self.pull(stale.source);
+            }
+            if self.drop_tombstones && top.entry.is_tombstone() {
+                continue;
+            }
+            self.entries_out += 1;
+            return Some(top.entry);
+        }
+    }
+}
+
+/// Convenience: merges in-memory entry vectors (each sorted) into one vector.
+pub fn merge_sorted(batches: Vec<Vec<KvEntry>>, drop_tombstones: bool) -> Vec<KvEntry> {
+    let sources: Vec<EntrySource> = batches
+        .into_iter()
+        .map(|b| Box::new(b.into_iter()) as EntrySource)
+        .collect();
+    MergeIterator::new(sources, drop_tombstones).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn e(k: &str, v: &str, seq: u64) -> KvEntry {
+        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+    }
+
+    fn d(k: &str, seq: u64) -> KvEntry {
+        KvEntry::delete(Bytes::copy_from_slice(k.as_bytes()), seq)
+    }
+
+    #[test]
+    fn merges_disjoint_sources() {
+        let out = merge_sorted(
+            vec![vec![e("a", "1", 1), e("c", "3", 2)], vec![e("b", "2", 3)]],
+            false,
+        );
+        let keys: Vec<&[u8]> = out.iter().map(|x| x.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let out = merge_sorted(
+            vec![
+                vec![e("k", "old", 1)],
+                vec![e("k", "mid", 5)],
+                vec![e("k", "new", 9)],
+            ],
+            false,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.as_ref(), b"new");
+        assert_eq!(out[0].seq, 9);
+    }
+
+    #[test]
+    fn tombstone_shadows_older_put() {
+        let out = merge_sorted(vec![vec![e("k", "v", 1)], vec![d("k", 2)]], false);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_tombstone());
+    }
+
+    #[test]
+    fn tombstones_dropped_at_bottom() {
+        let out = merge_sorted(
+            vec![vec![e("a", "1", 1), e("k", "v", 2)], vec![d("k", 3)]],
+            true,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key.as_ref(), b"a");
+    }
+
+    #[test]
+    fn newer_put_survives_older_tombstone() {
+        let out = merge_sorted(vec![vec![d("k", 1)], vec![e("k", "alive", 2)]], true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.as_ref(), b"alive");
+    }
+
+    #[test]
+    fn counts_in_and_out() {
+        let sources: Vec<EntrySource> = vec![
+            Box::new(vec![e("a", "1", 1), e("b", "2", 2)].into_iter()),
+            Box::new(vec![e("b", "3", 3)].into_iter()),
+        ];
+        let mut m = MergeIterator::new(sources, false);
+        let out: Vec<KvEntry> = m.by_ref().collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.entries_in, 3);
+        assert_eq!(m.entries_out, 2);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let out = merge_sorted(vec![vec![], vec![]], false);
+        assert!(out.is_empty());
+        let out: Vec<KvEntry> = MergeIterator::new(vec![], false).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn many_sources_interleaved() {
+        // 8 sources with interleaved keys; result must be globally sorted.
+        let mut batches = Vec::new();
+        for s in 0..8u64 {
+            let batch: Vec<KvEntry> = (0..20u64)
+                .map(|i| {
+                    let k = i * 8 + s;
+                    KvEntry::put(Bytes::copy_from_slice(&k.to_be_bytes()), Bytes::new(), s + 1)
+                })
+                .collect();
+            batches.push(batch);
+        }
+        let out = merge_sorted(batches, false);
+        assert_eq!(out.len(), 160);
+        for w in out.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Engine configuration.
+
+use crate::transition::TransitionStrategy;
+
+/// Bloom-filter memory scheme across levels (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BloomScheme {
+    /// Every level gets the same bits-per-key (RocksDB default; Case 1).
+    Uniform {
+        /// Bits of filter memory per key.
+        bits_per_key: f64,
+    },
+    /// Monkey allocation: `f_i = T^{i-1}·f_1` (Case 2).
+    Monkey {
+        /// False-positive rate of Level 1's filters.
+        level1_fpr: f64,
+    },
+}
+
+impl BloomScheme {
+    /// Bits-per-key for a (zero-based) level under this scheme.
+    pub fn bits_for_level(&self, level: usize, size_ratio: u32) -> f64 {
+        match *self {
+            BloomScheme::Uniform { bits_per_key } => bits_per_key,
+            BloomScheme::Monkey { level1_fpr } => {
+                crate::monkey::monkey_bits_per_key(level1_fpr, size_ratio, level)
+            }
+        }
+    }
+
+    /// Expected false-positive rate for a (zero-based) level.
+    pub fn fpr_for_level(&self, level: usize, size_ratio: u32) -> f64 {
+        match *self {
+            BloomScheme::Uniform { bits_per_key } => crate::bloom::fpr_for_bits(bits_per_key),
+            BloomScheme::Monkey { level1_fpr } => {
+                crate::monkey::monkey_fpr(level1_fpr, size_ratio, level)
+            }
+        }
+    }
+}
+
+/// Configuration of an [`crate::FlsmTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsmConfig {
+    /// Memory-buffer (memtable) capacity in bytes. The paper uses 2 MiB;
+    /// the scaled-down experiment default is 64 KiB.
+    pub buffer_bytes: u64,
+    /// Capacity ratio `T` between adjacent levels (paper default 10).
+    pub size_ratio: u32,
+    /// Initial compaction policy `K` for newly created levels
+    /// (1 = leveling, the RocksDB default the paper starts from).
+    pub initial_policy: u32,
+    /// Bloom-filter scheme (uniform 8 bits/key by default, as in the paper).
+    pub bloom: BloomScheme,
+    /// How policy changes are applied (FLSM flexible transition by default).
+    pub transition: TransitionStrategy,
+}
+
+impl LsmConfig {
+    /// Scaled-down defaults used across the experiments (see DESIGN.md §2).
+    pub fn scaled_default() -> Self {
+        Self {
+            buffer_bytes: 64 * 1024,
+            size_ratio: 10,
+            initial_policy: 1,
+            bloom: BloomScheme::Uniform { bits_per_key: 8.0 },
+            transition: TransitionStrategy::Flexible,
+        }
+    }
+
+    /// The paper's full-scale settings (2 MiB buffer, T=10, bits=8).
+    pub fn paper_default() -> Self {
+        Self {
+            buffer_bytes: 2 * 1024 * 1024,
+            size_ratio: 10,
+            initial_policy: 1,
+            bloom: BloomScheme::Uniform { bits_per_key: 8.0 },
+            transition: TransitionStrategy::Flexible,
+        }
+    }
+
+    /// Capacity in bytes of a (zero-based) level: `C_i = buffer · T^{i+1}`.
+    pub fn level_capacity(&self, level: usize) -> u64 {
+        let t = self.size_ratio as u64;
+        self.buffer_bytes.saturating_mul(t.saturating_pow(level as u32 + 1))
+    }
+
+    /// Clamps a policy into the valid range `[1, T]`.
+    pub fn clamp_policy(&self, k: i64) -> u32 {
+        k.clamp(1, self.size_ratio as i64) as u32
+    }
+
+    /// Validates invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_bytes < 1024 {
+            return Err("buffer_bytes must be at least 1 KiB".into());
+        }
+        if self.size_ratio < 2 {
+            return Err("size_ratio (T) must be at least 2".into());
+        }
+        if self.initial_policy < 1 || self.initial_policy > self.size_ratio {
+            return Err(format!(
+                "initial_policy must be in [1, {}], got {}",
+                self.size_ratio, self.initial_policy
+            ));
+        }
+        if let BloomScheme::Uniform { bits_per_key } = self.bloom {
+            if !(0.0..=64.0).contains(&bits_per_key) {
+                return Err("bits_per_key must be in [0, 64]".into());
+            }
+        }
+        if let BloomScheme::Monkey { level1_fpr } = self.bloom {
+            if !(0.0..=1.0).contains(&level1_fpr) || level1_fpr == 0.0 {
+                return Err("level1_fpr must be in (0, 1]".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self::scaled_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_capacities_grow_by_t() {
+        let cfg = LsmConfig::scaled_default();
+        assert_eq!(cfg.level_capacity(0), 64 * 1024 * 10);
+        assert_eq!(cfg.level_capacity(1), 64 * 1024 * 100);
+        assert_eq!(cfg.level_capacity(2), 64 * 1024 * 1000);
+    }
+
+    #[test]
+    fn clamp_policy_bounds() {
+        let cfg = LsmConfig::scaled_default();
+        assert_eq!(cfg.clamp_policy(0), 1);
+        assert_eq!(cfg.clamp_policy(-5), 1);
+        assert_eq!(cfg.clamp_policy(5), 5);
+        assert_eq!(cfg.clamp_policy(99), 10);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = LsmConfig::scaled_default();
+        assert!(cfg.validate().is_ok());
+        cfg.size_ratio = 1;
+        assert!(cfg.validate().is_err());
+        cfg = LsmConfig::scaled_default();
+        cfg.initial_policy = 11;
+        assert!(cfg.validate().is_err());
+        cfg = LsmConfig::scaled_default();
+        cfg.buffer_bytes = 10;
+        assert!(cfg.validate().is_err());
+        cfg = LsmConfig::scaled_default();
+        cfg.bloom = BloomScheme::Monkey { level1_fpr: 0.0 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn monkey_scheme_bits_decrease() {
+        let s = BloomScheme::Monkey { level1_fpr: 0.001 };
+        assert!(s.bits_for_level(0, 10) > s.bits_for_level(1, 10));
+        assert!(s.bits_for_level(1, 10) > s.bits_for_level(2, 10));
+        assert_eq!(s.bits_for_level(5, 10), 0.0);
+        let u = BloomScheme::Uniform { bits_per_key: 8.0 };
+        assert_eq!(u.bits_for_level(0, 10), u.bits_for_level(4, 10));
+    }
+}

@@ -1,0 +1,163 @@
+//! On-page encoding of entries.
+//!
+//! A page is laid out as:
+//!
+//! ```text
+//! [n_entries: u16] [entry]*
+//! entry = [klen: u16] [vlen: u32] [seq: u64] [kind: u8] [key bytes] [value bytes]
+//! ```
+//!
+//! Entries never span pages (the engine enforces `encoded_size <= page
+//! capacity`), matching how fence pointers guarantee `O(1)` page reads per
+//! run probe in the paper's model.
+
+use bytes::Bytes;
+
+use crate::types::{KvEntry, OpKind};
+
+/// Fixed per-entry header size: klen (2) + vlen (4) + seq (8) + kind (1).
+pub const ENTRY_HEADER_BYTES: usize = 2 + 4 + 8 + 1;
+
+/// Fixed per-page header size: entry count (2).
+pub const PAGE_HEADER_BYTES: usize = 2;
+
+/// Serializes entries into a page buffer. Returns `None` (and leaves `buf`
+/// untouched) if the entry would not fit in a page of `page_size` bytes given
+/// the current buffer content.
+pub fn append_entry(buf: &mut Vec<u8>, e: &KvEntry, page_size: usize) -> bool {
+    let need = e.encoded_size();
+    let used = if buf.is_empty() { PAGE_HEADER_BYTES } else { buf.len() };
+    if used + need > page_size {
+        return false;
+    }
+    if buf.is_empty() {
+        buf.extend_from_slice(&0u16.to_le_bytes());
+    }
+    buf.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
+    buf.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&e.seq.to_le_bytes());
+    buf.push(e.kind.to_byte());
+    buf.extend_from_slice(&e.key);
+    buf.extend_from_slice(&e.value);
+    let n = u16::from_le_bytes([buf[0], buf[1]]) + 1;
+    buf[0..2].copy_from_slice(&n.to_le_bytes());
+    true
+}
+
+/// Decodes all entries from an encoded page.
+///
+/// The page buffer is converted to [`Bytes`] once; keys and values are
+/// zero-copy slices of it.
+pub fn decode_page(page: Vec<u8>) -> Vec<KvEntry> {
+    if page.len() < PAGE_HEADER_BYTES {
+        return Vec::new();
+    }
+    let page = Bytes::from(page);
+    let n = u16::from_le_bytes([page[0], page[1]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut off = PAGE_HEADER_BYTES;
+    for _ in 0..n {
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(page[off + 2..off + 6].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(page[off + 6..off + 14].try_into().unwrap());
+        let kind = OpKind::from_byte(page[off + 14]).expect("corrupt entry kind");
+        off += ENTRY_HEADER_BYTES;
+        let key = page.slice(off..off + klen);
+        off += klen;
+        let value = page.slice(off..off + vlen);
+        off += vlen;
+        out.push(KvEntry { key, value, seq, kind });
+    }
+    out
+}
+
+/// Searches an encoded page for `key` without materializing all entries.
+pub fn search_page(page: &[u8], key: &[u8]) -> Option<KvEntry> {
+    if page.len() < PAGE_HEADER_BYTES {
+        return None;
+    }
+    let n = u16::from_le_bytes([page[0], page[1]]) as usize;
+    let mut off = PAGE_HEADER_BYTES;
+    for _ in 0..n {
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(page[off + 2..off + 6].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(page[off + 6..off + 14].try_into().unwrap());
+        let kind = OpKind::from_byte(page[off + 14]).expect("corrupt entry kind");
+        let kstart = off + ENTRY_HEADER_BYTES;
+        let k = &page[kstart..kstart + klen];
+        // Entries within a page are sorted: stop early once past the key.
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => {
+                let vstart = kstart + klen;
+                return Some(KvEntry {
+                    key: Bytes::copy_from_slice(k),
+                    value: Bytes::copy_from_slice(&page[vstart..vstart + vlen]),
+                    seq,
+                    kind,
+                });
+            }
+            std::cmp::Ordering::Greater => return None,
+        }
+        off = kstart + klen + vlen;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(k: &str, v: &str, seq: u64) -> KvEntry {
+        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+    }
+
+    #[test]
+    fn roundtrip_single_page() {
+        let mut buf = Vec::new();
+        let entries = vec![entry("a", "1", 1), entry("b", "22", 2), entry("c", "333", 3)];
+        for e in &entries {
+            assert!(append_entry(&mut buf, e, 4096));
+        }
+        let decoded = decode_page(buf);
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut buf = Vec::new();
+        let big = KvEntry::put(Bytes::from(vec![b'k'; 10]), Bytes::from(vec![0u8; 60]), 1);
+        let page = 100;
+        assert!(append_entry(&mut buf, &big, page));
+        assert!(!append_entry(&mut buf, &big, page));
+        assert_eq!(decode_page(buf).len(), 1);
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let mut buf = Vec::new();
+        let t = KvEntry::delete(Bytes::from_static(b"gone"), 9);
+        assert!(append_entry(&mut buf, &t, 4096));
+        let decoded = decode_page(buf);
+        assert_eq!(decoded[0], t);
+        assert!(decoded[0].is_tombstone());
+    }
+
+    #[test]
+    fn search_finds_and_misses() {
+        let mut buf = Vec::new();
+        for e in [entry("apple", "1", 1), entry("mango", "2", 2), entry("zebra", "3", 3)] {
+            append_entry(&mut buf, &e, 4096);
+        }
+        assert_eq!(search_page(&buf, b"mango").unwrap().seq, 2);
+        assert!(search_page(&buf, b"banana").is_none());
+        assert!(search_page(&buf, b"zzz").is_none());
+        assert!(search_page(&buf, b"").is_none());
+    }
+
+    #[test]
+    fn empty_page_decodes_empty() {
+        assert!(decode_page(Vec::new()).is_empty());
+        assert!(search_page(&[], b"x").is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Fence pointers: the in-memory first-key index of a run's pages.
+//!
+//! With fence pointers, probing a run for a key requires at most one page
+//! read (paper §2): a binary search over the first keys locates the unique
+//! page that could contain the key.
+
+use crate::types::Key;
+
+/// First-key-per-page index for one sorted run.
+#[derive(Debug, Clone, Default)]
+pub struct FencePointers {
+    first_keys: Vec<Key>,
+}
+
+impl FencePointers {
+    /// Builds fence pointers from the first key of each page, in page order.
+    pub fn new(first_keys: Vec<Key>) -> Self {
+        debug_assert!(first_keys.windows(2).all(|w| w[0] <= w[1]), "pages must be sorted");
+        Self { first_keys }
+    }
+
+    /// Number of pages indexed.
+    pub fn page_count(&self) -> usize {
+        self.first_keys.len()
+    }
+
+    /// The unique page that may contain `key`, or `None` if `key` sorts
+    /// before the first page.
+    pub fn locate(&self, key: &[u8]) -> Option<u32> {
+        // partition_point: first index whose first_key > key; the candidate
+        // page is the one before it.
+        let idx = self.first_keys.partition_point(|fk| fk.as_ref() <= key);
+        idx.checked_sub(1).map(|i| i as u32)
+    }
+
+    /// The first page whose content may include keys `>= key` (for seeking a
+    /// range scan). Returns `page_count()` if all pages sort before `key`.
+    pub fn seek_page(&self, key: &[u8]) -> u32 {
+        // Start from the page that could contain `key` itself.
+        self.locate(key).unwrap_or(0)
+    }
+
+    /// In-memory footprint in bytes (keys only, ignoring Vec overhead).
+    pub fn memory_bytes(&self) -> usize {
+        self.first_keys.iter().map(|k| k.len()).sum()
+    }
+
+    /// First key of page `idx`.
+    pub fn first_key(&self, idx: u32) -> &Key {
+        &self.first_keys[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn fences(keys: &[&str]) -> FencePointers {
+        FencePointers::new(keys.iter().map(|k| Bytes::copy_from_slice(k.as_bytes())).collect())
+    }
+
+    #[test]
+    fn locate_exact_and_between() {
+        let f = fences(&["b", "f", "m"]);
+        assert_eq!(f.locate(b"b"), Some(0));
+        assert_eq!(f.locate(b"c"), Some(0));
+        assert_eq!(f.locate(b"f"), Some(1));
+        assert_eq!(f.locate(b"g"), Some(1));
+        assert_eq!(f.locate(b"m"), Some(2));
+        assert_eq!(f.locate(b"zzz"), Some(2));
+    }
+
+    #[test]
+    fn locate_before_first_is_none() {
+        let f = fences(&["b", "f"]);
+        assert_eq!(f.locate(b"a"), None);
+    }
+
+    #[test]
+    fn seek_clamps_to_first_page() {
+        let f = fences(&["b", "f"]);
+        assert_eq!(f.seek_page(b"a"), 0);
+        assert_eq!(f.seek_page(b"c"), 0);
+        assert_eq!(f.seek_page(b"q"), 1);
+    }
+
+    #[test]
+    fn empty_fences() {
+        let f = FencePointers::default();
+        assert_eq!(f.page_count(), 0);
+        assert_eq!(f.locate(b"x"), None);
+        assert_eq!(f.memory_bytes(), 0);
+    }
+}

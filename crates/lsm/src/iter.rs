@@ -1,0 +1,83 @@
+//! Streaming range scans.
+
+use crate::compaction::{EntrySource, MergeIterator};
+use crate::types::{Key, KvEntry, Value};
+
+/// A streaming, merged, version-resolved range scan over `[start, end)`.
+///
+/// Wraps a [`MergeIterator`] over per-run iterators and the memtable,
+/// excluding tombstoned keys and stopping at the end bound. Constructed by
+/// [`crate::FlsmTree::scan_iter`].
+pub struct RangeScan {
+    inner: MergeIterator,
+    end: Key,
+    remaining: usize,
+}
+
+impl RangeScan {
+    /// Builds a scan from pre-seeked sorted sources.
+    pub fn new(sources: Vec<EntrySource>, end: Key, limit: usize) -> Self {
+        Self {
+            inner: MergeIterator::new(sources, true),
+            end,
+            remaining: limit,
+        }
+    }
+}
+
+impl Iterator for RangeScan {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let e: KvEntry = self.inner.next()?;
+        if e.key >= self.end {
+            self.remaining = 0;
+            return None;
+        }
+        self.remaining -= 1;
+        Some((e.key, e.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn e(k: &str, v: &str, seq: u64) -> KvEntry {
+        KvEntry::put(
+            Bytes::copy_from_slice(k.as_bytes()),
+            Bytes::copy_from_slice(v.as_bytes()),
+            seq,
+        )
+    }
+
+    #[test]
+    fn scan_stops_at_end_and_limit() {
+        let src: EntrySource = Box::new(
+            vec![e("a", "1", 1), e("b", "2", 2), e("c", "3", 3), e("d", "4", 4)].into_iter(),
+        );
+        let got: Vec<_> = RangeScan::new(vec![src], Bytes::from_static(b"d"), 10).collect();
+        assert_eq!(got.len(), 3);
+
+        let src: EntrySource = Box::new(
+            vec![e("a", "1", 1), e("b", "2", 2), e("c", "3", 3)].into_iter(),
+        );
+        let got: Vec<_> = RangeScan::new(vec![src], Bytes::from_static(b"zzz"), 2).collect();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let newer: EntrySource =
+            Box::new(vec![KvEntry::delete(Bytes::from_static(b"b"), 10)].into_iter());
+        let older: EntrySource = Box::new(vec![e("a", "1", 1), e("b", "2", 2)].into_iter());
+        let got: Vec<_> =
+            RangeScan::new(vec![newer, older], Bytes::from_static(b"zzz"), 10).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0.as_ref(), b"a");
+    }
+}

@@ -1,0 +1,48 @@
+//! The FLSM-tree engine of the RusKey reproduction.
+//!
+//! This crate implements the paper's §4 contribution plus the classic
+//! LSM-tree substrate it extends:
+//!
+//! * a write-buffer [`memtable`], sorted disk-resident [`run`]s with
+//!   [`bloom`] filters and [`fence`] pointers, and k-way merging
+//!   [`compaction`];
+//! * per-level compaction policies `K_i` (max number of sorted runs in
+//!   level *i*, `K_i ∈ [1, T]`; `K_i = 1` is leveling, `K_i = T` is tiering),
+//!   following Dostoevsky's hybrid-policy formulation;
+//! * the **FLSM-tree** ([`tree::FlsmTree`]): a flexible LSM-tree that allows
+//!   *different-sized runs in one level*, so a policy change only affects the
+//!   capacity of the level's *active run* — the flexible transition of §4.2;
+//! * the two baseline transition strategies of §4.1 (**greedy**: flush the
+//!   level immediately; **lazy**: defer the new policy until the level next
+//!   empties), selectable per tree via [`transition::TransitionStrategy`];
+//! * Bloom-filter memory schemes: uniform bits-per-key and the **Monkey**
+//!   allocation (`f_i = T^{i-1}·f_1`) used in §5.2 Case 2 ([`monkey`]);
+//! * exact per-level statistics ([`stats`]) feeding the RL reward
+//!   (`t_i`, the level-based latency) and the experiment harness.
+//!
+//! All I/O goes through the [`ruskey_storage::Storage`] abstraction so the
+//! engine runs identically on the simulated device and on real files.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod compaction;
+pub mod config;
+pub mod entry;
+pub mod fence;
+pub mod iter;
+pub mod level;
+pub mod memtable;
+pub mod monkey;
+pub mod run;
+pub mod stats;
+pub mod transition;
+pub mod tree;
+pub mod types;
+pub mod wal;
+
+pub use config::{BloomScheme, LsmConfig};
+pub use stats::{LevelStatsSnapshot, TreeStatsSnapshot};
+pub use transition::TransitionStrategy;
+pub use tree::FlsmTree;
+pub use types::{Key, KvEntry, OpKind, SeqNo, Value};

@@ -1,0 +1,161 @@
+//! The in-memory write buffer.
+//!
+//! New writes land here; when the buffer's logical size reaches the
+//! configured capacity, the engine sorts (implicit: the map is ordered) and
+//! flushes the contents as a sorted run into Level 1 (paper §2).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::types::{Key, KvEntry, OpKind, SeqNo, Value};
+
+/// Value slot stored per key in the buffer.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: Value,
+    seq: SeqNo,
+    kind: OpKind,
+}
+
+/// A sorted in-memory write buffer with logical-size accounting.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Key, Slot>,
+    bytes: u64,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a put or tombstone, replacing any previous version of the key.
+    pub fn insert(&mut self, entry: KvEntry) {
+        let size = entry.encoded_size() as u64;
+        let KvEntry { key, value, seq, kind } = entry;
+        if let Some(old) = self.map.insert(key.clone(), Slot { value, seq, kind }) {
+            let old_size = (crate::entry::ENTRY_HEADER_BYTES + key.len() + old.value.len()) as u64;
+            self.bytes = self.bytes - old_size + size;
+        } else {
+            self.bytes += size;
+        }
+    }
+
+    /// Looks up the latest version of `key`, if buffered.
+    pub fn get(&self, key: &[u8]) -> Option<KvEntry> {
+        self.map.get(key).map(|slot| KvEntry {
+            key: Key::copy_from_slice(key),
+            value: slot.value.clone(),
+            seq: slot.seq,
+            kind: slot.kind,
+        })
+    }
+
+    /// Logical size in bytes (sum of encoded entry sizes).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of distinct buffered keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drains the buffer, returning all entries in ascending key order.
+    pub fn drain_sorted(&mut self) -> Vec<KvEntry> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|(key, slot)| KvEntry {
+                key,
+                value: slot.value,
+                seq: slot.seq,
+                kind: slot.kind,
+            })
+            .collect()
+    }
+
+    /// Returns buffered entries with keys in `[start, end)` in key order.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<KvEntry> {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, slot)| KvEntry {
+                key: k.clone(),
+                value: slot.value.clone(),
+                seq: slot.seq,
+                kind: slot.kind,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn put(k: &str, v: &str, seq: u64) -> KvEntry {
+        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = Memtable::new();
+        m.insert(put("a", "1", 1));
+        m.insert(put("a", "two", 2));
+        let got = m.get(b"a").unwrap();
+        assert_eq!(got.value.as_ref(), b"two");
+        assert_eq!(got.seq, 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn size_accounting_tracks_overwrites() {
+        let mut m = Memtable::new();
+        m.insert(put("key", "aa", 1));
+        let s1 = m.bytes();
+        m.insert(put("key", "aaaa", 2)); // value grew by 2
+        assert_eq!(m.bytes(), s1 + 2);
+        m.insert(put("key", "", 3));
+        assert_eq!(m.bytes(), s1 - 2);
+    }
+
+    #[test]
+    fn tombstones_are_stored() {
+        let mut m = Memtable::new();
+        m.insert(put("a", "1", 1));
+        m.insert(KvEntry::delete(Bytes::from_static(b"a"), 2));
+        let got = m.get(b"a").unwrap();
+        assert!(got.is_tombstone());
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut m = Memtable::new();
+        for (i, k) in ["mango", "apple", "zebra"].iter().enumerate() {
+            m.insert(put(k, "v", i as u64));
+        }
+        let drained = m.drain_sorted();
+        let keys: Vec<&[u8]> = drained.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"apple".as_ref(), b"mango".as_ref(), b"zebra".as_ref()]);
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn range_bounds_are_half_open() {
+        let mut m = Memtable::new();
+        for k in ["a", "b", "c", "d"] {
+            m.insert(put(k, "v", 1));
+        }
+        let got: Vec<KvEntry> = m.range(b"b", b"d");
+        let keys: Vec<&[u8]> = got.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"b".as_ref(), b"c".as_ref()]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Monkey Bloom-filter allocation (Dayan et al., SIGMOD'17), §5.2 Case 2.
+//!
+//! Mainstream designs give every level the same bits-per-key ("uniform").
+//! Monkey instead assigns exponentially higher false-positive rates to larger
+//! levels — `f_i = T^{i−1} · f_1` — which minimizes the total expected probe
+//! cost for a fixed memory budget. The RusKey policy-propagation lemma
+//! (Lemma 5.1) is derived under exactly this allocation.
+
+use crate::bloom::{bits_for_fpr, fpr_for_bits};
+
+/// Per-level false-positive rate under the Monkey scheme.
+///
+/// `level` is zero-based (level 0 = the paper's Level 1). FPRs are capped at
+/// 1.0; a level with `f_i ≥ 1` receives no filter memory at all.
+pub fn monkey_fpr(level1_fpr: f64, size_ratio: u32, level: usize) -> f64 {
+    let f = level1_fpr * (size_ratio as f64).powi(level as i32);
+    f.min(1.0)
+}
+
+/// Per-level bits-per-key under the Monkey scheme.
+pub fn monkey_bits_per_key(level1_fpr: f64, size_ratio: u32, level: usize) -> f64 {
+    bits_for_fpr(monkey_fpr(level1_fpr, size_ratio, level))
+}
+
+/// Per-level false-positive rate under the uniform scheme.
+pub fn uniform_fpr(bits_per_key: f64) -> f64 {
+    fpr_for_bits(bits_per_key)
+}
+
+/// Total filter memory (bits) for a tree where level `i` holds
+/// `entries_per_level[i]` keys, under Monkey with the given `level1_fpr`.
+pub fn monkey_total_bits(level1_fpr: f64, size_ratio: u32, entries_per_level: &[u64]) -> f64 {
+    entries_per_level
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| n as f64 * monkey_bits_per_key(level1_fpr, size_ratio, i))
+        .sum()
+}
+
+/// Finds the `level1_fpr` whose Monkey allocation uses (approximately) the
+/// same total memory as a uniform allocation with `uniform_bits` bits/key,
+/// enabling apples-to-apples scheme comparisons (the paper lowers RocksDB's
+/// default 8 bits/key to 4 under Monkey for this reason).
+pub fn equivalent_level1_fpr(uniform_bits: f64, size_ratio: u32, entries_per_level: &[u64]) -> f64 {
+    let budget: f64 = entries_per_level.iter().map(|&n| n as f64 * uniform_bits).sum();
+    if budget <= 0.0 {
+        return 1.0;
+    }
+    // Monotone in f1: bisect.
+    let (mut lo, mut hi) = (1e-9f64, 1.0f64);
+    for _ in 0..80 {
+        let mid = (lo * hi).sqrt(); // geometric bisection: f1 spans decades
+        let used = monkey_total_bits(mid, size_ratio, entries_per_level);
+        if used > budget {
+            lo = mid; // too much memory → allow higher FPR
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpr_grows_by_t_per_level() {
+        let f1 = 0.001;
+        let t = 10;
+        assert!((monkey_fpr(f1, t, 0) - 0.001).abs() < 1e-12);
+        assert!((monkey_fpr(f1, t, 1) - 0.01).abs() < 1e-12);
+        assert!((monkey_fpr(f1, t, 2) - 0.1).abs() < 1e-12);
+        assert_eq!(monkey_fpr(f1, t, 3), 1.0);
+        assert_eq!(monkey_fpr(f1, t, 9), 1.0);
+    }
+
+    #[test]
+    fn deepest_levels_get_zero_bits() {
+        let bits = monkey_bits_per_key(0.01, 10, 5);
+        assert_eq!(bits, 0.0);
+        let bits1 = monkey_bits_per_key(0.01, 10, 0);
+        assert!(bits1 > 6.0, "level 1 should get a real filter, got {bits1}");
+    }
+
+    #[test]
+    fn bits_decrease_with_depth() {
+        let f1 = 0.0001;
+        let mut prev = f64::INFINITY;
+        for lvl in 0..6 {
+            let b = monkey_bits_per_key(f1, 10, lvl);
+            assert!(b <= prev, "bits must be non-increasing with depth");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn equivalent_budget_matches() {
+        // Exponentially growing levels, T = 10.
+        let entries = [1_000u64, 10_000, 100_000, 1_000_000];
+        let uniform_bits = 8.0;
+        let f1 = equivalent_level1_fpr(uniform_bits, 10, &entries);
+        let used = monkey_total_bits(f1, 10, &entries);
+        let budget: f64 = entries.iter().map(|&n| n as f64 * uniform_bits).sum();
+        assert!(
+            (used - budget).abs() / budget < 0.05,
+            "memory within 5%: used={used} budget={budget} f1={f1}"
+        );
+        // Monkey should give level 1 a *lower* FPR than uniform for the
+        // same budget (that is the entire point of the scheme).
+        assert!(f1 < fpr_for_bits(uniform_bits));
+    }
+}

@@ -1,0 +1,476 @@
+//! Immutable sorted runs.
+//!
+//! A run is the disk-resident unit of the LSM-tree: a sequence of pages of
+//! sorted entries, paired with an in-memory Bloom filter and fence pointers.
+//! In the FLSM-tree, every run additionally carries its own *capacity*,
+//! assigned at creation from the level's policy at that moment — this is the
+//! mechanism that lets runs of different sizes coexist in one level (§4.2).
+
+use std::sync::Arc;
+
+use ruskey_storage::{Extent, Storage};
+
+use crate::bloom::Bloom;
+use crate::entry::{self, PAGE_HEADER_BYTES};
+use crate::fence::FencePointers;
+use crate::types::{Key, KvEntry, SeqNo};
+
+/// Unique run identifier within one tree.
+pub type RunId = u64;
+
+/// The outcome of probing one run for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The run's metadata excluded the key without any I/O
+    /// (range check or Bloom-filter negative).
+    FilteredOut,
+    /// The Bloom filter answered positive but the page did not contain the
+    /// key — a false positive costing one page read.
+    FalsePositive,
+    /// The key was found.
+    Found(KvEntry),
+}
+
+/// Statistics of one probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// What happened.
+    pub outcome: ProbeOutcome,
+    /// Pages read from storage during the probe (0 or 1).
+    pub pages_read: u32,
+}
+
+/// An immutable sorted run.
+#[derive(Debug)]
+pub struct Run {
+    id: RunId,
+    extent: Extent,
+    bloom: Bloom,
+    fences: FencePointers,
+    entry_count: u64,
+    data_bytes: u64,
+    capacity_bytes: u64,
+    min_key: Key,
+    max_key: Key,
+    max_seq: SeqNo,
+}
+
+impl Run {
+    /// Run identifier.
+    pub fn id(&self) -> RunId {
+        self.id
+    }
+
+    /// Logical data size in bytes (sum of encoded entry sizes).
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// The FLSM per-run capacity assigned at creation (bytes).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Updates the capacity (only ever called on a level's *active* run when
+    /// a flexible transition changes the policy, §4.2).
+    pub fn set_capacity_bytes(&mut self, capacity: u64) {
+        self.capacity_bytes = capacity;
+    }
+
+    /// Number of entries in the run.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Number of pages occupied on storage.
+    pub fn page_count(&self) -> u32 {
+        self.extent.pages
+    }
+
+    /// Smallest key in the run.
+    pub fn min_key(&self) -> &Key {
+        &self.min_key
+    }
+
+    /// Largest key in the run.
+    pub fn max_key(&self) -> &Key {
+        &self.max_key
+    }
+
+    /// Largest sequence number in the run.
+    pub fn max_seq(&self) -> SeqNo {
+        self.max_seq
+    }
+
+    /// In-memory metadata footprint (Bloom bits + fence keys), bytes.
+    pub fn metadata_bytes(&self) -> usize {
+        self.bloom.memory_bytes() + self.fences.memory_bytes()
+    }
+
+    /// Probes the run for `key`, charging `c_r` CPU plus any page read to
+    /// the storage clock.
+    pub fn probe(&self, storage: &dyn Storage, key: &[u8]) -> ProbeResult {
+        storage.charge_cpu(storage.cost_model().cpu_probe_ns);
+        if key < self.min_key.as_ref() || key > self.max_key.as_ref() {
+            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+        }
+        if !self.bloom.contains(key) {
+            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+        }
+        let Some(page_idx) = self.fences.locate(key) else {
+            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+        };
+        let mut buf = Vec::with_capacity(storage.page_size());
+        storage.read_page(self.extent, page_idx, &mut buf);
+        match entry::search_page(&buf, key) {
+            Some(e) => ProbeResult { outcome: ProbeOutcome::Found(e), pages_read: 1 },
+            None => ProbeResult { outcome: ProbeOutcome::FalsePositive, pages_read: 1 },
+        }
+    }
+
+    /// Sequential iterator over all entries, reading pages on demand.
+    pub fn iter(&self, storage: Arc<dyn Storage>) -> RunIterator {
+        RunIterator::new(self.extent, storage, 0)
+    }
+
+    /// Iterator positioned at the first entry with key `>= start`.
+    pub fn iter_from(&self, storage: Arc<dyn Storage>, start: &[u8]) -> RunIterator {
+        let page = self.fences.seek_page(start);
+        let mut it = RunIterator::new(self.extent, storage, page);
+        it.skip_until(start);
+        it
+    }
+
+    /// Frees the run's pages on storage. The run must not be used afterwards.
+    pub fn destroy(self, storage: &dyn Storage) {
+        storage.free(self.extent);
+    }
+}
+
+/// Streams a run's entries in key order, reading one page at a time.
+pub struct RunIterator {
+    extent: Extent,
+    storage: Arc<dyn Storage>,
+    next_page: u32,
+    current: std::vec::IntoIter<KvEntry>,
+    peeked: Option<KvEntry>,
+}
+
+impl RunIterator {
+    fn new(extent: Extent, storage: Arc<dyn Storage>, start_page: u32) -> Self {
+        Self {
+            extent,
+            storage,
+            next_page: start_page,
+            current: Vec::new().into_iter(),
+            peeked: None,
+        }
+    }
+
+    fn refill(&mut self) -> bool {
+        while self.next_page < self.extent.pages {
+            let mut buf = Vec::with_capacity(self.storage.page_size());
+            self.storage.read_page(self.extent, self.next_page, &mut buf);
+            self.next_page += 1;
+            let entries = entry::decode_page(buf);
+            if !entries.is_empty() {
+                self.current = entries.into_iter();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn skip_until(&mut self, start: &[u8]) {
+        while let Some(e) = self.peek() {
+            if e.key.as_ref() >= start {
+                break;
+            }
+            self.next();
+        }
+    }
+
+    /// Peeks at the next entry without consuming it.
+    pub fn peek(&mut self) -> Option<&KvEntry> {
+        if self.peeked.is_none() {
+            self.peeked = self.advance();
+        }
+        self.peeked.as_ref()
+    }
+
+    fn advance(&mut self) -> Option<KvEntry> {
+        loop {
+            if let Some(e) = self.current.next() {
+                return Some(e);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+}
+
+impl Iterator for RunIterator {
+    type Item = KvEntry;
+
+    fn next(&mut self) -> Option<KvEntry> {
+        if let Some(e) = self.peeked.take() {
+            return Some(e);
+        }
+        self.advance()
+    }
+}
+
+/// Builds a run from entries supplied in strictly ascending key order.
+pub struct RunBuilder {
+    id: RunId,
+    page_size: usize,
+    bits_per_key: f64,
+    pages: Vec<Vec<u8>>,
+    current: Vec<u8>,
+    first_keys: Vec<Key>,
+    keys: Vec<Key>,
+    data_bytes: u64,
+    min_key: Option<Key>,
+    max_key: Option<Key>,
+    max_seq: SeqNo,
+}
+
+impl RunBuilder {
+    /// Starts a builder. `bits_per_key` controls the Bloom filter (0 = none).
+    pub fn new(id: RunId, page_size: usize, bits_per_key: f64) -> Self {
+        assert!(page_size > PAGE_HEADER_BYTES + crate::entry::ENTRY_HEADER_BYTES);
+        Self {
+            id,
+            page_size,
+            bits_per_key,
+            pages: Vec::new(),
+            current: Vec::new(),
+            first_keys: Vec::new(),
+            keys: Vec::new(),
+            data_bytes: 0,
+            min_key: None,
+            max_key: None,
+            max_seq: 0,
+        }
+    }
+
+    /// Appends an entry. Panics if keys are not strictly ascending or the
+    /// entry cannot fit in an empty page.
+    pub fn push(&mut self, e: KvEntry) {
+        if let Some(last) = &self.max_key {
+            assert!(e.key > *last, "RunBuilder keys must be strictly ascending");
+        }
+        if self.min_key.is_none() {
+            self.min_key = Some(e.key.clone());
+        }
+        self.max_key = Some(e.key.clone());
+        self.max_seq = self.max_seq.max(e.seq);
+        self.data_bytes += e.encoded_size() as u64;
+        self.keys.push(e.key.clone());
+        if self.current.is_empty() {
+            self.first_keys.push(e.key.clone());
+        }
+        if !entry::append_entry(&mut self.current, &e, self.page_size) {
+            assert!(!self.current.is_empty(), "entry larger than a page");
+            let full = std::mem::take(&mut self.current);
+            self.pages.push(full);
+            self.first_keys.push(e.key.clone());
+            let ok = entry::append_entry(&mut self.current, &e, self.page_size);
+            assert!(ok, "entry larger than a page");
+        }
+    }
+
+    /// Number of entries added so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Logical bytes accumulated so far.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Writes the pages to `storage` (charging write I/O), builds the Bloom
+    /// filter and fence pointers, and returns the finished run.
+    ///
+    /// `capacity_bytes` is the FLSM per-run capacity recorded on the run.
+    /// Returns `None` if no entries were pushed.
+    pub fn finish(mut self, storage: &dyn Storage, capacity_bytes: u64) -> Option<Run> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        if !self.current.is_empty() {
+            let last = std::mem::take(&mut self.current);
+            self.pages.push(last);
+        } else {
+            // The last first_key belongs to a page that was never started.
+            if self.first_keys.len() > self.pages.len() {
+                self.first_keys.pop();
+            }
+        }
+        debug_assert_eq!(self.first_keys.len(), self.pages.len());
+        let extent = storage.allocate(self.pages.len() as u32);
+        for (i, page) in self.pages.iter().enumerate() {
+            storage.write_page(extent, i as u32, page);
+        }
+        let bloom = Bloom::build(
+            self.keys.iter().map(|k| k.as_ref()),
+            self.keys.len(),
+            self.bits_per_key,
+        );
+        Some(Run {
+            id: self.id,
+            extent,
+            bloom,
+            fences: FencePointers::new(self.first_keys),
+            entry_count: self.keys.len() as u64,
+            data_bytes: self.data_bytes,
+            capacity_bytes,
+            min_key: self.min_key.unwrap(),
+            max_key: self.max_key.unwrap(),
+            max_seq: self.max_seq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use ruskey_storage::{CostModel, SimulatedDisk};
+
+    fn key(i: u64) -> Key {
+        Bytes::copy_from_slice(&i.to_be_bytes())
+    }
+
+    fn value(i: u64) -> Key {
+        Bytes::from(format!("value-{i:06}"))
+    }
+
+    fn build_run(storage: &dyn Storage, n: u64, bits: f64) -> Run {
+        let mut b = RunBuilder::new(1, storage.page_size(), bits);
+        for i in 0..n {
+            b.push(KvEntry::put(key(i * 2), value(i), i + 1));
+        }
+        b.finish(storage, u64::MAX).unwrap()
+    }
+
+    #[test]
+    fn probe_finds_every_key() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 100, 10.0);
+        for i in 0..100 {
+            let r = run.probe(disk.as_ref(), &key(i * 2));
+            match r.outcome {
+                ProbeOutcome::Found(e) => assert_eq!(e.value, value(i)),
+                other => panic!("key {i} not found: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn probe_out_of_range_costs_nothing() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 10, 10.0);
+        let before = disk.metrics().pages_read;
+        let r = run.probe(disk.as_ref(), &key(1_000_000));
+        assert_eq!(r.outcome, ProbeOutcome::FilteredOut);
+        assert_eq!(disk.metrics().pages_read, before);
+    }
+
+    #[test]
+    fn probe_missing_key_in_range() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 100, 10.0);
+        // Odd keys are absent; with bits=10 most probes are filtered, any
+        // bloom positive must come back as FalsePositive, never Found.
+        for i in 0..100 {
+            let r = run.probe(disk.as_ref(), &key(i * 2 + 1));
+            assert!(
+                matches!(r.outcome, ProbeOutcome::FilteredOut | ProbeOutcome::FalsePositive),
+                "phantom key found"
+            );
+        }
+    }
+
+    #[test]
+    fn iterator_streams_in_order() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 50, 10.0);
+        let entries: Vec<KvEntry> = run.iter(disk.clone() as Arc<dyn Storage>).collect();
+        assert_eq!(entries.len(), 50);
+        for w in entries.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        assert_eq!(entries[0].key, key(0));
+        assert_eq!(entries[49].key, key(98));
+    }
+
+    #[test]
+    fn seeked_iterator_starts_at_bound() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 50, 10.0);
+        // Seek to key 31 (absent): first yielded must be 32.
+        let it = run.iter_from(disk.clone() as Arc<dyn Storage>, &key(31));
+        let first = it.take(1).next().unwrap();
+        assert_eq!(first.key, key(32));
+        // Seek before the run start.
+        let it = run.iter_from(disk.clone() as Arc<dyn Storage>, &key(0));
+        assert_eq!(it.take(1).next().unwrap().key, key(0));
+    }
+
+    #[test]
+    fn metadata_and_counters() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 100, 8.0);
+        assert_eq!(run.entry_count(), 100);
+        assert!(run.page_count() > 1);
+        assert!(run.data_bytes() > 0);
+        assert!(run.metadata_bytes() > 0);
+        assert_eq!(run.max_seq(), 100);
+        assert_eq!(run.min_key(), &key(0));
+        assert_eq!(run.max_key(), &key(198));
+    }
+
+    #[test]
+    fn destroy_frees_pages() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 20, 8.0);
+        assert!(disk.live_pages() > 0);
+        run.destroy(disk.as_ref());
+        assert_eq!(disk.live_pages(), 0);
+    }
+
+    #[test]
+    fn empty_builder_returns_none() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let b = RunBuilder::new(1, 256, 8.0);
+        assert!(b.finish(disk.as_ref(), 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_push_panics() {
+        let mut b = RunBuilder::new(1, 256, 8.0);
+        b.push(KvEntry::put(key(5), value(5), 1));
+        b.push(KvEntry::put(key(3), value(3), 2));
+    }
+
+    #[test]
+    fn zero_bits_run_still_correct() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let run = build_run(disk.as_ref(), 30, 0.0);
+        let r = run.probe(disk.as_ref(), &key(4));
+        assert!(matches!(r.outcome, ProbeOutcome::Found(_)));
+        // In-range misses always pay a page read without a filter.
+        let r = run.probe(disk.as_ref(), &key(5));
+        assert_eq!(r.outcome, ProbeOutcome::FalsePositive);
+        assert_eq!(r.pages_read, 1);
+    }
+}

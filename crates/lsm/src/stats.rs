@@ -1,0 +1,204 @@
+//! Per-level and tree-wide statistics.
+//!
+//! The RusKey stats collector (paper §3.1) feeds two signals into the RL
+//! reward: the *end-to-end latency* `t'` and the *level-based latency* `t_i`.
+//! This module accumulates both, along with the I/O and false-positive
+//! counters used by the experiments.
+
+/// Mutable accumulators for one level.
+#[derive(Debug, Default, Clone)]
+pub struct LevelStats {
+    /// Virtual ns spent probing this level during lookups.
+    pub lookup_ns: u64,
+    /// Pages read by lookups in this level.
+    pub lookup_pages: u64,
+    /// Run probes performed in this level.
+    pub probes: u64,
+    /// Bloom false positives observed in this level.
+    pub false_positives: u64,
+    /// Virtual ns spent on compaction work attributed to this level.
+    pub compact_ns: u64,
+    /// Pages read by compactions attributed to this level.
+    pub compact_pages_read: u64,
+    /// Pages written by compactions attributed to this level.
+    pub compact_pages_written: u64,
+    /// Entries processed by compactions attributed to this level.
+    pub compact_keys: u64,
+    /// Number of full-level merges pushed down from this level.
+    pub merges_down: u64,
+    /// Number of policy transitions applied at this level.
+    pub transitions: u64,
+}
+
+impl LevelStats {
+    /// Total level-based latency `t_i` (lookup + compaction time).
+    pub fn total_ns(&self) -> u64 {
+        self.lookup_ns + self.compact_ns
+    }
+
+    /// Immutable snapshot.
+    pub fn snapshot(&self) -> LevelStatsSnapshot {
+        LevelStatsSnapshot {
+            lookup_ns: self.lookup_ns,
+            lookup_pages: self.lookup_pages,
+            probes: self.probes,
+            false_positives: self.false_positives,
+            compact_ns: self.compact_ns,
+            compact_pages_read: self.compact_pages_read,
+            compact_pages_written: self.compact_pages_written,
+            compact_keys: self.compact_keys,
+            merges_down: self.merges_down,
+            transitions: self.transitions,
+        }
+    }
+}
+
+/// Point-in-time copy of [`LevelStats`]; supports deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStatsSnapshot {
+    /// Virtual ns spent probing this level during lookups.
+    pub lookup_ns: u64,
+    /// Pages read by lookups in this level.
+    pub lookup_pages: u64,
+    /// Run probes performed in this level.
+    pub probes: u64,
+    /// Bloom false positives observed in this level.
+    pub false_positives: u64,
+    /// Virtual ns spent on compaction work attributed to this level.
+    pub compact_ns: u64,
+    /// Pages read by compactions attributed to this level.
+    pub compact_pages_read: u64,
+    /// Pages written by compactions attributed to this level.
+    pub compact_pages_written: u64,
+    /// Entries processed by compactions attributed to this level.
+    pub compact_keys: u64,
+    /// Number of full-level merges pushed down from this level.
+    pub merges_down: u64,
+    /// Number of policy transitions applied at this level.
+    pub transitions: u64,
+}
+
+impl LevelStatsSnapshot {
+    /// Level-based latency `t_i`.
+    pub fn total_ns(&self) -> u64 {
+        self.lookup_ns + self.compact_ns
+    }
+
+    /// Counter-wise `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &LevelStatsSnapshot) -> LevelStatsSnapshot {
+        LevelStatsSnapshot {
+            lookup_ns: self.lookup_ns.saturating_sub(earlier.lookup_ns),
+            lookup_pages: self.lookup_pages.saturating_sub(earlier.lookup_pages),
+            probes: self.probes.saturating_sub(earlier.probes),
+            false_positives: self.false_positives.saturating_sub(earlier.false_positives),
+            compact_ns: self.compact_ns.saturating_sub(earlier.compact_ns),
+            compact_pages_read: self.compact_pages_read.saturating_sub(earlier.compact_pages_read),
+            compact_pages_written: self
+                .compact_pages_written
+                .saturating_sub(earlier.compact_pages_written),
+            compact_keys: self.compact_keys.saturating_sub(earlier.compact_keys),
+            merges_down: self.merges_down.saturating_sub(earlier.merges_down),
+            transitions: self.transitions.saturating_sub(earlier.transitions),
+        }
+    }
+}
+
+/// Tree-wide statistics snapshot.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TreeStatsSnapshot {
+    /// Number of lookups served.
+    pub lookups: u64,
+    /// Number of updates (puts + deletes) applied.
+    pub updates: u64,
+    /// Number of range scans served.
+    pub scans: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Total virtual time on the device clock (I/O + charged CPU), ns.
+    pub clock_ns: u64,
+    /// Per-level snapshots, index 0 = the paper's Level 1.
+    pub levels: Vec<LevelStatsSnapshot>,
+}
+
+impl TreeStatsSnapshot {
+    /// End-to-end latency `t'` accumulated so far (virtual ns).
+    pub fn end_to_end_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Counter-wise delta versus an earlier snapshot. Levels missing from
+    /// `earlier` (created in between) are taken as-is.
+    pub fn delta(&self, earlier: &TreeStatsSnapshot) -> TreeStatsSnapshot {
+        let levels = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| match earlier.levels.get(i) {
+                Some(e) => l.delta(e),
+                None => *l,
+            })
+            .collect();
+        TreeStatsSnapshot {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            updates: self.updates.saturating_sub(earlier.updates),
+            scans: self.scans.saturating_sub(earlier.scans),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            clock_ns: self.clock_ns.saturating_sub(earlier.clock_ns),
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_total_combines_lookup_and_compact() {
+        let s = LevelStats {
+            lookup_ns: 10,
+            compact_ns: 32,
+            ..Default::default()
+        };
+        assert_eq!(s.total_ns(), 42);
+        assert_eq!(s.snapshot().total_ns(), 42);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let a = LevelStatsSnapshot {
+            probes: 10,
+            false_positives: 2,
+            ..Default::default()
+        };
+        let b = LevelStatsSnapshot {
+            probes: 4,
+            false_positives: 1,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.probes, 6);
+        assert_eq!(d.false_positives, 1);
+    }
+
+    #[test]
+    fn tree_delta_handles_new_levels() {
+        let earlier = TreeStatsSnapshot {
+            lookups: 5,
+            levels: vec![LevelStatsSnapshot { probes: 3, ..Default::default() }],
+            ..Default::default()
+        };
+        let later = TreeStatsSnapshot {
+            lookups: 9,
+            levels: vec![
+                LevelStatsSnapshot { probes: 7, ..Default::default() },
+                LevelStatsSnapshot { probes: 2, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.lookups, 4);
+        assert_eq!(d.levels[0].probes, 4);
+        assert_eq!(d.levels[1].probes, 2);
+    }
+}

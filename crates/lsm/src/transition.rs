@@ -1,0 +1,62 @@
+//! Compaction-policy transition strategies (§4).
+//!
+//! When the tuner changes a level's policy `K → K'`, the engine must decide
+//! how the level's existing data reacts:
+//!
+//! * [`TransitionStrategy::Greedy`] — flush the whole level into the next one
+//!   immediately and rebuild under the new policy. Takes effect instantly but
+//!   pays an amortized `C/2B` page I/Os and causes a write stall (§4.1).
+//! * [`TransitionStrategy::Lazy`] — record the new policy but apply it only
+//!   when the level next fills up and empties through a full-level
+//!   compaction. Free, but delayed by `C/(2·N_u·E)` seconds on average, which
+//!   starves the RL model of timely feedback (§4.1).
+//! * [`TransitionStrategy::Flexible`] — the FLSM-tree transition (§4.2):
+//!   resize only the level's *active run* capacity; sealed runs are never
+//!   touched. Zero cost, zero delay.
+
+/// How a level reacts to a compaction-policy change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransitionStrategy {
+    /// Flush the level down immediately (Dayan & Idreos' extended discussion).
+    Greedy,
+    /// Defer the new policy until the level next empties.
+    Lazy,
+    /// FLSM-tree flexible transition: retarget the active run only.
+    #[default]
+    Flexible,
+}
+
+impl TransitionStrategy {
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionStrategy::Greedy => "greedy",
+            TransitionStrategy::Lazy => "lazy",
+            TransitionStrategy::Flexible => "flexible",
+        }
+    }
+
+    /// All strategies, for sweeps.
+    pub const ALL: [TransitionStrategy; 3] = [
+        TransitionStrategy::Greedy,
+        TransitionStrategy::Lazy,
+        TransitionStrategy::Flexible,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_flexible() {
+        assert_eq!(TransitionStrategy::default(), TransitionStrategy::Flexible);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            TransitionStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+
+use crate::nn::Mlp;
+
+/// Adam state for one network.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates an optimizer for a network with `param_count` parameters.
+    pub fn new(param_count: usize, lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one Adam step using the gradients accumulated in `net`,
+    /// scaled by `grad_scale` (e.g. `1 / batch_size`). Does not zero grads.
+    pub fn step(&mut self, net: &mut Mlp, grad_scale: f32) {
+        assert_eq!(net.param_count(), self.m.len(), "optimizer/network mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        net.for_each_param(|i, p, g_raw| {
+            let g = g_raw * grad_scale;
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mh = m[i] / b1t;
+            let vh = v[i] / b2t;
+            *p -= lr * mh / (vh.sqrt() + eps);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn adam_fits_regression_faster_than_it_starts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut adam = Adam::new(net.param_count(), 1e-2);
+        let f = |x: f32| 0.5 * x * x - x + 2.0;
+        let loss_of = |net: &mut Mlp| {
+            let mut l = 0.0;
+            for i in 0..20 {
+                let x = -2.0 + i as f32 / 5.0;
+                let y = net.forward(&[x])[0];
+                l += (y - f(x)).powi(2);
+            }
+            l / 20.0
+        };
+        let initial = loss_of(&mut net);
+        for _ in 0..2000 {
+            let batch: Vec<f32> = (0..16).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+            net.zero_grad();
+            for &x in &batch {
+                let y = net.forward(&[x])[0];
+                net.backward(&[2.0 * (y - f(x))]);
+            }
+            adam.step(&mut net, 1.0 / 16.0);
+        }
+        let final_loss = loss_of(&mut net);
+        assert!(
+            final_loss < initial * 0.05 && final_loss < 0.1,
+            "Adam failed: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut a = Adam::new(10, 1e-3);
+        assert_eq!(a.lr(), 1e-3);
+        a.set_lr(5e-4);
+        assert_eq!(a.lr(), 5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let mut adam = Adam::new(1, 1e-3);
+        adam.step(&mut net, 1.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al., 2015).
+//!
+//! The paper selects DDPG for Lerp because it "has been shown to be more
+//! effective compared with the classic models such as DQN" (§5.1.4). This
+//! implementation follows the original algorithm: a deterministic actor
+//! `μ(s)`, a critic `Q(s, a)`, target copies of both tracked by Polyak
+//! averaging, uniform experience replay, and OU exploration noise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::nn::{Activation, Mlp};
+use crate::noise::OuNoise;
+use crate::replay::{ReplayBuffer, Transition};
+
+/// Hyperparameters of a DDPG agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdpgConfig {
+    /// State vector dimension.
+    pub state_dim: usize,
+    /// Action vector dimension (actions live in `[-1, 1]^d`).
+    pub action_dim: usize,
+    /// Hidden layer sizes; the paper uses three layers of 128 ReLU units.
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Polyak soft-update coefficient τ.
+    pub tau: f32,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// Replay-buffer capacity.
+    pub replay_capacity: usize,
+    /// Minimum replay size before training starts.
+    pub warmup: usize,
+    /// RNG seed (sampling, init, exploration).
+    pub seed: u64,
+    /// Initial OU noise volatility.
+    pub noise_sigma: f32,
+}
+
+impl DdpgConfig {
+    /// The paper's architecture with sensible DDPG defaults for the rest.
+    pub fn paper_default(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            hidden: vec![128, 128, 128],
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            gamma: 0.9,
+            tau: 0.01,
+            batch_size: 32,
+            replay_capacity: 4096,
+            warmup: 32,
+            seed: 42,
+            noise_sigma: 0.2,
+        }
+    }
+}
+
+/// Diagnostics of one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainMetrics {
+    /// Mean squared TD error of the critic batch.
+    pub critic_loss: f32,
+    /// Mean `-Q(s, μ(s))` over the actor batch (lower is better).
+    pub actor_loss: f32,
+}
+
+/// A DDPG agent.
+pub struct Ddpg {
+    cfg: DdpgConfig,
+    actor: Mlp,
+    critic: Mlp,
+    target_actor: Mlp,
+    target_critic: Mlp,
+    adam_actor: Adam,
+    adam_critic: Adam,
+    replay: ReplayBuffer,
+    noise: OuNoise,
+    rng: StdRng,
+    train_steps: u64,
+}
+
+impl Ddpg {
+    /// Creates an agent from a configuration.
+    pub fn new(cfg: DdpgConfig) -> Self {
+        assert!(cfg.state_dim > 0 && cfg.action_dim > 0);
+        assert!((0.0..=1.0).contains(&cfg.gamma));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut actor_dims = vec![cfg.state_dim];
+        actor_dims.extend(&cfg.hidden);
+        actor_dims.push(cfg.action_dim);
+        let mut critic_dims = vec![cfg.state_dim + cfg.action_dim];
+        critic_dims.extend(&cfg.hidden);
+        critic_dims.push(1);
+
+        let actor = Mlp::new(&actor_dims, Activation::Relu, Activation::Tanh, &mut rng);
+        let critic = Mlp::new(&critic_dims, Activation::Relu, Activation::Identity, &mut rng);
+        let mut target_actor = Mlp::new(&actor_dims, Activation::Relu, Activation::Tanh, &mut rng);
+        let mut target_critic =
+            Mlp::new(&critic_dims, Activation::Relu, Activation::Identity, &mut rng);
+        target_actor.copy_from(&actor);
+        target_critic.copy_from(&critic);
+
+        let adam_actor = Adam::new(actor.param_count(), cfg.actor_lr);
+        let adam_critic = Adam::new(critic.param_count(), cfg.critic_lr);
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let mut noise = OuNoise::standard(cfg.action_dim);
+        noise.set_sigma(cfg.noise_sigma);
+
+        Self {
+            cfg,
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            adam_actor,
+            adam_critic,
+            replay,
+            noise,
+            rng,
+            train_steps: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.cfg
+    }
+
+    /// Number of gradient steps taken.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Number of stored experience samples.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Deterministic (greedy) action `μ(s) ∈ [-1,1]^d`.
+    pub fn act(&mut self, state: &[f32]) -> Vec<f32> {
+        self.actor.forward(state)
+    }
+
+    /// Exploratory action: `clip(μ(s) + OU noise, -1, 1)`.
+    pub fn act_explore(&mut self, state: &[f32]) -> Vec<f32> {
+        let mut a = self.actor.forward(state);
+        for (ai, ni) in a.iter_mut().zip(self.noise.next(&mut self.rng)) {
+            *ai = (*ai + ni).clamp(-1.0, 1.0);
+        }
+        a
+    }
+
+    /// Scales exploration noise (decay schedules, workload-shift restarts).
+    pub fn set_noise_sigma(&mut self, sigma: f32) {
+        self.noise.set_sigma(sigma);
+    }
+
+    /// Current exploration volatility.
+    pub fn noise_sigma(&self) -> f32 {
+        self.noise.sigma()
+    }
+
+    /// Stores an experience sample.
+    pub fn observe(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.cfg.state_dim);
+        debug_assert_eq!(t.action.len(), self.cfg.action_dim);
+        self.replay.push(t);
+    }
+
+    /// Drops replayed experience (called when the workload shifts so stale
+    /// samples no longer describe the environment).
+    pub fn clear_replay(&mut self) {
+        self.replay.clear();
+        self.noise.reset();
+    }
+
+    /// One DDPG gradient step on a sampled batch; `None` until the replay
+    /// buffer reaches the warmup size.
+    pub fn train_step(&mut self) -> Option<TrainMetrics> {
+        if self.replay.len() < self.cfg.warmup.max(1) {
+            return None;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, self.cfg.batch_size)
+            .into_iter()
+            .cloned()
+            .collect();
+        let n = batch.len() as f32;
+
+        // ---- Critic update: minimize (Q(s,a) − y)², y = r + γ Q'(s',μ'(s')).
+        self.critic.zero_grad();
+        let mut critic_loss = 0.0f32;
+        for t in &batch {
+            let a_next = self.target_actor.forward(&t.next_state);
+            let mut sa_next = t.next_state.clone();
+            sa_next.extend_from_slice(&a_next);
+            let q_next = self.target_critic.forward(&sa_next)[0];
+            let y = t.reward + if t.done { 0.0 } else { self.cfg.gamma * q_next };
+
+            let mut sa = t.state.clone();
+            sa.extend_from_slice(&t.action);
+            let q = self.critic.forward(&sa)[0];
+            let td = q - y;
+            critic_loss += td * td;
+            self.critic.backward(&[2.0 * td]);
+        }
+        self.adam_critic.step(&mut self.critic, 1.0 / n);
+        critic_loss /= n;
+
+        // ---- Actor update: maximize Q(s, μ(s)) — gradient ascent through
+        // the critic's input gradient w.r.t. the action.
+        self.actor.zero_grad();
+        self.critic.zero_grad(); // critic params must not drift here
+        let mut actor_loss = 0.0f32;
+        for t in &batch {
+            let a = self.actor.forward(&t.state);
+            let mut sa = t.state.clone();
+            sa.extend_from_slice(&a);
+            let q = self.critic.forward(&sa)[0];
+            actor_loss += -q;
+            // dL/dQ = -1 (ascent); critic input grad gives dQ/d[s,a].
+            let g_in = self.critic.backward(&[-1.0]);
+            let g_action = &g_in[self.cfg.state_dim..];
+            self.actor.backward(g_action);
+        }
+        self.adam_actor.step(&mut self.actor, 1.0 / n);
+        self.critic.zero_grad(); // discard pollution from the actor pass
+        actor_loss /= n;
+
+        // ---- Target tracking.
+        self.target_actor.soft_update_from(&self.actor, self.cfg.tau);
+        self.target_critic.soft_update_from(&self.critic, self.cfg.tau);
+
+        self.train_steps += 1;
+        Some(TrainMetrics { critic_loss, actor_loss })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn small_cfg(seed: u64) -> DdpgConfig {
+        DdpgConfig {
+            hidden: vec![32, 32],
+            batch_size: 32,
+            warmup: 64,
+            seed,
+            gamma: 0.0, // bandit problems: no bootstrapping needed
+            ..DdpgConfig::paper_default(1, 1)
+        }
+    }
+
+    #[test]
+    fn actions_bounded() {
+        let mut agent = Ddpg::new(small_cfg(1));
+        for i in 0..50 {
+            let s = [i as f32 / 25.0 - 1.0];
+            for a in agent.act_explore(&s) {
+                assert!((-1.0..=1.0).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn no_training_before_warmup() {
+        let mut agent = Ddpg::new(small_cfg(1));
+        assert!(agent.train_step().is_none());
+        for _ in 0..63 {
+            agent.observe(Transition {
+                state: vec![0.0],
+                action: vec![0.0],
+                reward: 0.0,
+                next_state: vec![0.0],
+                done: false,
+            });
+        }
+        assert!(agent.train_step().is_none());
+        agent.observe(Transition {
+            state: vec![0.0],
+            action: vec![0.0],
+            reward: 0.0,
+            next_state: vec![0.0],
+            done: false,
+        });
+        assert!(agent.train_step().is_some());
+        assert_eq!(agent.train_steps(), 1);
+    }
+
+    #[test]
+    fn solves_stateless_bandit() {
+        // Reward -(a - 0.5)²: the optimal deterministic action is 0.5.
+        let mut agent = Ddpg::new(small_cfg(7));
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1500 {
+            let a = if rng.gen::<f32>() < 0.3 {
+                vec![rng.gen::<f32>() * 2.0 - 1.0] // extra uniform exploration
+            } else {
+                agent.act_explore(&[0.0])
+            };
+            let r = -(a[0] - 0.5) * (a[0] - 0.5);
+            agent.observe(Transition {
+                state: vec![0.0],
+                action: a,
+                reward: r,
+                next_state: vec![0.0],
+                done: true,
+            });
+            agent.train_step();
+        }
+        let a = agent.act(&[0.0])[0];
+        assert!((a - 0.5).abs() < 0.15, "learned action {a}, want ~0.5");
+    }
+
+    #[test]
+    fn solves_state_conditional_bandit() {
+        // Optimal action equals the (1-D) state: a*(s) = s.
+        let mut agent = Ddpg::new(small_cfg(11));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..4000 {
+            let s = rng.gen::<f32>() * 1.6 - 0.8;
+            let a = if rng.gen::<f32>() < 0.3 {
+                vec![rng.gen::<f32>() * 2.0 - 1.0]
+            } else {
+                agent.act_explore(&[s])
+            };
+            let r = -(a[0] - s) * (a[0] - s);
+            agent.observe(Transition {
+                state: vec![s],
+                action: a,
+                reward: r,
+                next_state: vec![s],
+                done: true,
+            });
+            agent.train_step();
+        }
+        let mut max_err = 0.0f32;
+        for i in 0..9 {
+            let s = -0.8 + 0.2 * i as f32;
+            let a = agent.act(&[s])[0];
+            max_err = max_err.max((a - s).abs());
+        }
+        assert!(max_err < 0.3, "policy tracking error {max_err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut agent = Ddpg::new(small_cfg(seed));
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..200 {
+                let s = rng.gen::<f32>();
+                let a = agent.act_explore(&[s]);
+                agent.observe(Transition {
+                    state: vec![s],
+                    action: a.clone(),
+                    reward: -a[0].abs(),
+                    next_state: vec![s],
+                    done: false,
+                });
+                agent.train_step();
+            }
+            agent.act(&[0.3])[0]
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn clear_replay_resets_experience() {
+        let mut agent = Ddpg::new(small_cfg(1));
+        for _ in 0..10 {
+            agent.observe(Transition {
+                state: vec![0.0],
+                action: vec![0.0],
+                reward: 0.0,
+                next_state: vec![0.0],
+                done: false,
+            });
+        }
+        assert_eq!(agent.replay_len(), 10);
+        agent.clear_replay();
+        assert_eq!(agent.replay_len(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Reinforcement-learning substrate for the RusKey reproduction.
+//!
+//! The paper implements its tuning model Lerp with PyTorch DDPG (§7:
+//! three-layer fully-connected networks, 128 neurons per layer, ReLU). The
+//! Rust RL ecosystem is thin, so this crate implements the whole stack from
+//! scratch, exactly at the scale the paper needs:
+//!
+//! * [`nn`] — dense layers and multilayer perceptrons with manual
+//!   backpropagation, including input gradients (required by DDPG's actor
+//!   update, which differentiates the critic with respect to the action);
+//! * [`adam`] — the Adam optimizer;
+//! * [`replay`] — a ring replay buffer with uniform sampling;
+//! * [`noise`] — Ornstein–Uhlenbeck and Gaussian exploration noise;
+//! * [`ddpg`] — Deep Deterministic Policy Gradient (Lillicrap et al., 2015):
+//!   actor–critic with target networks and soft updates;
+//! * [`dqn`] — Deep Q-Network over discrete actions, as the comparison
+//!   learner the paper argues DDPG improves upon (§5.1.4).
+//!
+//! Everything is deterministic given a seed, so experiments reproduce
+//! bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod ddpg;
+pub mod dqn;
+pub mod nn;
+pub mod noise;
+pub mod replay;
+
+pub use adam::Adam;
+pub use ddpg::{Ddpg, DdpgConfig, TrainMetrics};
+pub use dqn::{Dqn, DqnConfig};
+pub use nn::{Activation, Mlp};
+pub use noise::{GaussianNoise, OuNoise};
+pub use replay::{ReplayBuffer, Transition};

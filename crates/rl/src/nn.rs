@@ -1,0 +1,382 @@
+//! Dense layers and MLPs with manual backpropagation.
+//!
+//! The networks are small (3×128 hidden, as in the paper), so layers process
+//! one sample at a time and training loops accumulate gradients over a
+//! batch. `backward` must be called immediately after the matching
+//! `forward` (layers cache the activations of the last forward pass).
+
+use rand::Rng;
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent (used by the DDPG actor's output, range [-1, 1]).
+    Tanh,
+    /// No activation (used by the critic's output).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed via the *output* value `y = f(x)` (sufficient
+    /// for all three functions and avoids caching pre-activations).
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// A fully-connected layer `y = f(Wx + b)` with gradient accumulators.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    act: Activation,
+    // Caches from the last forward pass.
+    last_input: Vec<f32>,
+    last_output: Vec<f32>,
+}
+
+impl Dense {
+    /// He/Xavier-initialized layer (He for ReLU, Xavier otherwise).
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut impl Rng) -> Self {
+        let scale = match act {
+            Activation::Relu => (2.0 / in_dim as f32).sqrt(),
+            _ => (1.0 / in_dim as f32).sqrt(),
+        };
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            act,
+            last_input: Vec::new(),
+            last_output: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = vec![0.0f32; self.out_dim];
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *yo = self.act.apply(acc);
+        }
+        self.last_input = x.to_vec();
+        self.last_output = y.clone();
+        y
+    }
+
+    /// Accumulates parameter gradients for the last forward pass and
+    /// returns the gradient with respect to the layer input.
+    #[allow(clippy::needless_range_loop)] // o indexes four parallel arrays
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_in = vec![0.0f32; self.in_dim];
+        for o in 0..self.out_dim {
+            let dz = grad_out[o] * self.act.derivative_from_output(self.last_output[o]);
+            self.gb[o] += dz;
+            let row_g = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_w = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += dz * self.last_input[i];
+                grad_in[i] += dz * row_w[i];
+            }
+        }
+        grad_in
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A sequential multilayer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes; all hidden layers use
+    /// `hidden_act`, the last layer uses `out_act`.
+    ///
+    /// `dims = [in, h1, ..., out]` needs at least two entries.
+    pub fn new(dims: &[usize], hidden_act: Activation, out_act: Activation, rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i == dims.len() - 2 { out_act } else { hidden_act };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+
+    /// Forward pass (caches activations for a subsequent [`Mlp::backward`]).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut h = x.to_vec();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients, and
+    /// returns the gradient with respect to the network input.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let mut g = grad_out.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order.
+    pub fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut f32, f32)) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            for (w, g) in layer.w.iter_mut().zip(layer.gw.iter()) {
+                f(idx, w, *g);
+                idx += 1;
+            }
+            for (b, g) in layer.b.iter_mut().zip(layer.gb.iter()) {
+                f(idx, b, *g);
+                idx += 1;
+            }
+        }
+    }
+
+    /// Hard-copies parameters from another identically-shaped network.
+    pub fn copy_from(&mut self, other: &Mlp) {
+        assert_eq!(self.param_count(), other.param_count(), "shape mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.w.copy_from_slice(&src.w);
+            dst.b.copy_from_slice(&src.b);
+        }
+    }
+
+    /// Polyak soft update: `θ ← τ·θ_src + (1−τ)·θ` (DDPG target tracking).
+    pub fn soft_update_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.param_count(), other.param_count(), "shape mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            for (d, s) in dst.w.iter_mut().zip(&src.w) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+            for (d, s) in dst.b.iter_mut().zip(&src.b) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn identity_single_layer_is_affine() {
+        let mut net = Mlp::new(&[2, 1], Activation::Relu, Activation::Identity, &mut rng());
+        // Overwrite weights for a hand-computed check: y = 2a - 3b + 0.5.
+        net.layers[0].w = vec![2.0, -3.0];
+        net.layers[0].b = vec![0.5];
+        let y = net.forward(&[1.0, 1.0]);
+        assert!((y[0] - (-0.5)).abs() < 1e-6);
+        let y = net.forward(&[2.0, 0.0]);
+        assert!((y[0] - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_tanh_network() {
+        // Numerical vs analytic gradient on a small tanh net.
+        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng());
+        let x = [0.3f32, -0.7, 0.9];
+        // Loss = sum(y); dL/dy = 1.
+        let _ = net.forward(&x);
+        net.zero_grad();
+        net.backward(&[1.0, 1.0]);
+        let mut analytic: Vec<f32> = Vec::new();
+        net.for_each_param(|_, _, g| analytic.push(g));
+
+        let eps = 1e-3f32;
+        let mut max_err = 0f32;
+        // Numerically perturb each parameter.
+        let n = net.param_count();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let mut plus = 0.0;
+            let mut minus = 0.0;
+            net.for_each_param(|j, p, _| {
+                if j == i {
+                    *p += eps;
+                }
+            });
+            for y in net.forward(&x) {
+                plus += y;
+            }
+            net.for_each_param(|j, p, _| {
+                if j == i {
+                    *p -= 2.0 * eps;
+                }
+            });
+            for y in net.forward(&x) {
+                minus += y;
+            }
+            net.for_each_param(|j, p, _| {
+                if j == i {
+                    *p += eps;
+                }
+            });
+            let numeric = (plus - minus) / (2.0 * eps);
+            max_err = max_err.max((numeric - analytic[i]).abs());
+        }
+        assert!(max_err < 1e-2, "gradient check failed: max err {max_err}");
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, &mut rng());
+        let x = [0.5f32, -0.25];
+        let _ = net.forward(&x);
+        net.zero_grad();
+        let gin = net.backward(&[1.0]);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let plus = net.forward(&xp)[0];
+            xp[i] -= 2.0 * eps;
+            let minus = net.forward(&xp)[0];
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - gin[i]).abs() < 1e-2,
+                "input grad {i}: numeric {numeric} vs analytic {}",
+                gin[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_fits_linear_function() {
+        // y = 2x - 1 learned by plain gradient steps (no Adam here).
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let mut r = rng();
+        let lr = 0.01f32;
+        for _ in 0..3000 {
+            let x = r.gen::<f32>() * 2.0 - 1.0;
+            let target = 2.0 * x - 1.0;
+            let y = net.forward(&[x])[0];
+            net.zero_grad();
+            net.backward(&[2.0 * (y - target)]);
+            net.for_each_param(|_, p, g| *p -= lr * g);
+        }
+        let mut mse = 0.0;
+        for i in 0..20 {
+            let x = -1.0 + i as f32 / 10.0;
+            let y = net.forward(&[x])[0];
+            mse += (y - (2.0 * x - 1.0)).powi(2);
+        }
+        mse /= 20.0;
+        assert!(mse < 0.05, "failed to fit linear function: mse {mse}");
+    }
+
+    #[test]
+    fn copy_and_soft_update() {
+        let mut a = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let mut b = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng());
+        b.copy_from(&a);
+        let x = [0.3, 0.4];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        // Perturb a, soft-update b toward a.
+        a.for_each_param(|_, p, _| *p += 1.0);
+        let before = b.forward(&x)[0];
+        b.soft_update_from(&a, 0.5);
+        let after = b.forward(&x)[0];
+        assert_ne!(before, after);
+        // τ = 1 is a hard copy.
+        b.soft_update_from(&a, 1.0);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let net = Mlp::new(&[4, 128, 128, 128, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let expect = (4 * 128 + 128) + (128 * 128 + 128) * 2 + (128 + 1);
+        assert_eq!(net.param_count(), expect);
+    }
+
+    #[test]
+    fn tanh_output_is_bounded() {
+        let mut net = Mlp::new(&[3, 16, 2], Activation::Relu, Activation::Tanh, &mut rng());
+        for i in 0..100 {
+            let x = [i as f32, -(i as f32) * 3.0, 100.0];
+            for y in net.forward(&x) {
+                assert!((-1.0..=1.0).contains(&y));
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The simulated disk and the [`Storage`] abstraction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::clock::VirtualClock;
+use crate::cost::CostModel;
+use crate::metrics::{AtomicMetrics, StorageMetrics};
+
+/// A contiguous allocation of pages on a storage device.
+///
+/// Extents are handed out by [`Storage::allocate`] and identify the pages of
+/// one sorted run. They are plain identifiers — freeing is explicit via
+/// [`Storage::free`], mirroring how an LSM engine deletes obsolete run files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// Unique identifier of the allocation.
+    pub id: u64,
+    /// Number of pages in the allocation.
+    pub pages: u32,
+}
+
+/// A page-granular storage device.
+///
+/// Both the [`SimulatedDisk`] and the real-file [`crate::FileDisk`] implement
+/// this trait, so the LSM engine is oblivious to which backend it runs on.
+pub trait Storage: Send + Sync {
+    /// Size of one page in bytes (`B` in the paper, default 4096).
+    fn page_size(&self) -> usize;
+
+    /// Allocates `pages` pages and returns their extent.
+    fn allocate(&self, pages: u32) -> Extent;
+
+    /// Writes `data` (at most one page) to page `idx` of `ext`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds or `data` exceeds the page size.
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]);
+
+    /// Reads page `idx` of `ext` into `buf` (cleared first).
+    ///
+    /// # Panics
+    /// Panics if the page does not exist.
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>);
+
+    /// Releases an extent. Reading freed pages panics.
+    fn free(&self, ext: Extent);
+
+    /// Snapshot of the device I/O counters.
+    fn metrics(&self) -> StorageMetrics;
+
+    /// The virtual clock this device charges I/O time to.
+    fn clock(&self) -> &VirtualClock;
+
+    /// The cost model used for virtual-time charging.
+    fn cost_model(&self) -> CostModel;
+
+    /// Charges pure CPU time to the device clock (used by the engine for
+    /// `c_r`/`c_w` style costs so that everything lands on one timeline).
+    fn charge_cpu(&self, ns: u64) {
+        self.clock().advance(ns);
+    }
+
+    /// Number of live (allocated, unfreed) pages, for space accounting.
+    fn live_pages(&self) -> u64;
+}
+
+/// Pages of one extent: each slot is `None` until written.
+type ExtentSlots = Box<[Option<Box<[u8]>>]>;
+
+/// In-memory page store with exact, deterministic I/O accounting.
+pub struct SimulatedDisk {
+    page_size: usize,
+    cost: CostModel,
+    clock: VirtualClock,
+    next_id: AtomicU64,
+    live_pages: AtomicU64,
+    extents: RwLock<HashMap<u64, ExtentSlots>>,
+    metrics: AtomicMetrics,
+}
+
+impl SimulatedDisk {
+    /// Creates a disk with the given page size and cost model.
+    pub fn new(page_size: usize, cost: CostModel) -> Arc<Self> {
+        assert!(page_size >= 64, "page size unreasonably small");
+        Arc::new(Self {
+            page_size,
+            cost,
+            clock: VirtualClock::new(),
+            next_id: AtomicU64::new(1),
+            live_pages: AtomicU64::new(0),
+            extents: RwLock::new(HashMap::new()),
+            metrics: AtomicMetrics::default(),
+        })
+    }
+
+    /// Creates a disk with the default page size (4096) and NVMe cost model.
+    pub fn default_nvme() -> Arc<Self> {
+        Self::new(crate::DEFAULT_PAGE_SIZE, CostModel::NVME)
+    }
+
+    /// Number of live extents (≈ live run files).
+    pub fn live_extents(&self) -> usize {
+        self.extents.read().len()
+    }
+}
+
+impl Storage for SimulatedDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self, pages: u32) -> Extent {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slots: ExtentSlots = (0..pages).map(|_| None).collect();
+        self.extents.write().insert(id, slots);
+        self.live_pages.fetch_add(pages as u64, Ordering::Relaxed);
+        Extent { id, pages }
+    }
+
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) {
+        assert!(
+            data.len() <= self.page_size,
+            "page overflow: {} > {}",
+            data.len(),
+            self.page_size
+        );
+        assert!(idx < ext.pages, "page index {idx} out of bounds ({})", ext.pages);
+        {
+            let mut extents = self.extents.write();
+            let slots = extents
+                .get_mut(&ext.id)
+                .unwrap_or_else(|| panic!("write to freed/unknown extent {}", ext.id));
+            slots[idx as usize] = Some(data.to_vec().into_boxed_slice());
+        }
+        self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .write_ns
+            .fetch_add(self.cost.write_page_ns, Ordering::Relaxed);
+        self.clock.advance(self.cost.write_page_ns);
+    }
+
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) {
+        buf.clear();
+        {
+            let extents = self.extents.read();
+            let slots = extents
+                .get(&ext.id)
+                .unwrap_or_else(|| panic!("read from freed/unknown extent {}", ext.id));
+            let page = slots[idx as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("read of unwritten page {}:{idx}", ext.id));
+            buf.extend_from_slice(page);
+        }
+        self.metrics.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .read_ns
+            .fetch_add(self.cost.read_page_ns, Ordering::Relaxed);
+        self.clock.advance(self.cost.read_page_ns);
+    }
+
+    fn free(&self, ext: Extent) {
+        if self.extents.write().remove(&ext.id).is_some() {
+            self.live_pages.fetch_sub(ext.pages as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn metrics(&self) -> StorageMetrics {
+        self.metrics.snapshot()
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn live_pages(&self) -> u64 {
+        self.live_pages.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Arc<SimulatedDisk> {
+        SimulatedDisk::new(128, CostModel::NVME)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = disk();
+        let ext = d.allocate(2);
+        d.write_page(ext, 0, b"hello");
+        d.write_page(ext, 1, b"world");
+        let mut buf = Vec::new();
+        d.read_page(ext, 0, &mut buf);
+        assert_eq!(&buf, b"hello");
+        d.read_page(ext, 1, &mut buf);
+        assert_eq!(&buf, b"world");
+    }
+
+    #[test]
+    fn metrics_count_exactly() {
+        let d = disk();
+        let ext = d.allocate(1);
+        d.write_page(ext, 0, &[0u8; 100]);
+        let mut buf = Vec::new();
+        d.read_page(ext, 0, &mut buf);
+        d.read_page(ext, 0, &mut buf);
+        let m = d.metrics();
+        assert_eq!(m.pages_written, 1);
+        assert_eq!(m.pages_read, 2);
+        assert_eq!(m.bytes_written, 100);
+        assert_eq!(m.bytes_read, 200);
+        assert_eq!(m.write_ns, CostModel::NVME.write_page_ns);
+        assert_eq!(m.read_ns, 2 * CostModel::NVME.read_page_ns);
+    }
+
+    #[test]
+    fn clock_advances_with_io() {
+        let d = disk();
+        let ext = d.allocate(1);
+        d.write_page(ext, 0, b"x");
+        let mut buf = Vec::new();
+        d.read_page(ext, 0, &mut buf);
+        assert_eq!(
+            d.clock().now_ns(),
+            CostModel::NVME.write_page_ns + CostModel::NVME.read_page_ns
+        );
+    }
+
+    #[test]
+    fn free_releases_pages() {
+        let d = disk();
+        let a = d.allocate(3);
+        let b = d.allocate(2);
+        assert_eq!(d.live_pages(), 5);
+        assert_eq!(d.live_extents(), 2);
+        d.free(a);
+        assert_eq!(d.live_pages(), 2);
+        assert_eq!(d.live_extents(), 1);
+        d.free(b);
+        assert_eq!(d.live_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed/unknown extent")]
+    fn read_after_free_panics() {
+        let d = disk();
+        let ext = d.allocate(1);
+        d.write_page(ext, 0, b"x");
+        d.free(ext);
+        let mut buf = Vec::new();
+        d.read_page(ext, 0, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_write_panics() {
+        let d = disk();
+        let ext = d.allocate(1);
+        d.write_page(ext, 0, &[0u8; 4096]);
+    }
+
+    #[test]
+    fn charge_cpu_hits_same_clock() {
+        let d = disk();
+        d.charge_cpu(42);
+        assert_eq!(d.clock().now_ns(), 42);
+    }
+}

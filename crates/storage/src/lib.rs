@@ -1,0 +1,39 @@
+//! Simulated storage substrate for the RusKey reproduction.
+//!
+//! The paper evaluates RusKey on RocksDB over a 1 TB NVMe SSD. This crate
+//! replaces the physical device with a deterministic, in-memory *simulated
+//! disk*: every page read and write is counted exactly and charged a
+//! configurable amount of virtual time ([`CostModel`]). The LSM engine built
+//! on top performs the same logical page I/O it would issue against a real
+//! device, so read/write amplification — the quantity all of the paper's
+//! experiments trade off — is measured exactly, while experiments stay
+//! laptop-scale and perfectly reproducible.
+//!
+//! Components:
+//! * [`VirtualClock`] — monotonically increasing virtual nanosecond counter.
+//! * [`CostModel`] — per-page I/O latencies plus the CPU cost constants
+//!   (`c_r`, `c_w`) used by the paper's white-box model (§5.2, Eq. 5).
+//! * [`SimulatedDisk`] — page store with exact I/O accounting.
+//! * [`BlockCache`] — optional LRU page cache (disabled by default to match
+//!   the paper's direct-I/O setup).
+//! * [`FileDisk`] — a real-file backend implementing the same [`Storage`]
+//!   trait, for running the engine against an actual filesystem.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod disk;
+pub mod file;
+pub mod metrics;
+
+pub use cache::BlockCache;
+pub use clock::VirtualClock;
+pub use cost::CostModel;
+pub use disk::{Extent, SimulatedDisk, Storage};
+pub use file::FileDisk;
+pub use metrics::StorageMetrics;
+
+/// Default page size, matching the paper's setting `B = 4096` bytes.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;

@@ -1,0 +1,123 @@
+//! Exact storage-level accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters maintained by a storage backend.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicMetrics {
+    pub pages_read: AtomicU64,
+    pub pages_written: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub read_ns: AtomicU64,
+    pub write_ns: AtomicU64,
+}
+
+impl AtomicMetrics {
+    pub fn snapshot(&self) -> StorageMetrics {
+        StorageMetrics {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_ns: self.read_ns.load(Ordering::Relaxed),
+            write_ns: self.write_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of storage counters.
+///
+/// Snapshots form a monoid: use [`StorageMetrics::delta`] to measure the I/O
+/// performed by a specific operation (e.g. one mission, one compaction).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StorageMetrics {
+    /// Number of page reads issued to the device.
+    pub pages_read: u64,
+    /// Number of page writes issued to the device.
+    pub pages_written: u64,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Virtual nanoseconds spent on reads.
+    pub read_ns: u64,
+    /// Virtual nanoseconds spent on writes.
+    pub write_ns: u64,
+}
+
+impl StorageMetrics {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &StorageMetrics) -> StorageMetrics {
+        StorageMetrics {
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            read_ns: self.read_ns.saturating_sub(earlier.read_ns),
+            write_ns: self.write_ns.saturating_sub(earlier.write_ns),
+        }
+    }
+
+    /// Total virtual I/O time (read + write).
+    pub fn io_ns(&self) -> u64 {
+        self.read_ns + self.write_ns
+    }
+
+    /// Total page operations (reads + writes).
+    pub fn page_ops(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = StorageMetrics {
+            pages_read: 10,
+            pages_written: 4,
+            bytes_read: 4096,
+            bytes_written: 2048,
+            read_ns: 100,
+            write_ns: 50,
+        };
+        let b = StorageMetrics {
+            pages_read: 3,
+            pages_written: 1,
+            bytes_read: 1024,
+            bytes_written: 512,
+            read_ns: 20,
+            write_ns: 10,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.pages_read, 7);
+        assert_eq!(d.pages_written, 3);
+        assert_eq!(d.bytes_read, 3072);
+        assert_eq!(d.bytes_written, 1536);
+        assert_eq!(d.io_ns(), 120);
+        assert_eq!(d.page_ops(), 10);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let small = StorageMetrics::default();
+        let big = StorageMetrics {
+            pages_read: 5,
+            ..Default::default()
+        };
+        assert_eq!(small.delta(&big).pages_read, 0);
+    }
+
+    #[test]
+    fn atomic_snapshot_roundtrip() {
+        let m = AtomicMetrics::default();
+        m.pages_read.store(7, Ordering::Relaxed);
+        m.write_ns.store(99, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.pages_read, 7);
+        assert_eq!(s.write_ns, 99);
+    }
+}

@@ -1,0 +1,81 @@
+//! Mission segmentation.
+//!
+//! RusKey divides the workload into *missions* — fixed-size batches of
+//! operations — and the tuner interacts with the tree between missions
+//! (paper §3.1; default 50 000 ops/mission, scaled down here).
+
+use crate::generator::OpGenerator;
+use crate::ops::Operation;
+
+/// Chunks a generator's stream into missions of `mission_size` operations.
+pub struct MissionStream {
+    generator: OpGenerator,
+    mission_size: usize,
+    produced: usize,
+}
+
+impl MissionStream {
+    /// Creates a mission stream.
+    pub fn new(generator: OpGenerator, mission_size: usize) -> Self {
+        assert!(mission_size > 0);
+        Self { generator, mission_size, produced: 0 }
+    }
+
+    /// The configured mission size.
+    pub fn mission_size(&self) -> usize {
+        self.mission_size
+    }
+
+    /// Number of missions produced so far.
+    pub fn missions_produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Mutable access to the underlying generator (e.g. to shift the mix).
+    pub fn generator_mut(&mut self) -> &mut OpGenerator {
+        &mut self.generator
+    }
+
+    /// Produces the next mission.
+    pub fn next_mission(&mut self) -> Vec<Operation> {
+        self.produced += 1;
+        self.generator.take_ops(self.mission_size)
+    }
+}
+
+impl Iterator for MissionStream {
+    type Item = Vec<Operation>;
+
+    fn next(&mut self) -> Option<Vec<Operation>> {
+        Some(self.next_mission())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+    use crate::ops::OpMix;
+
+    #[test]
+    fn missions_have_exact_size() {
+        let g = OpGenerator::new(WorkloadSpec::scaled_default(100), 1);
+        let mut ms = MissionStream::new(g, 250);
+        for _ in 0..4 {
+            assert_eq!(ms.next_mission().len(), 250);
+        }
+        assert_eq!(ms.missions_produced(), 4);
+    }
+
+    #[test]
+    fn generator_access_allows_mix_shift() {
+        let g = OpGenerator::new(
+            WorkloadSpec::scaled_default(100).with_mix(OpMix::reads(1.0)),
+            1,
+        );
+        let mut ms = MissionStream::new(g, 100);
+        assert!(ms.next_mission().iter().all(Operation::is_read));
+        ms.generator_mut().set_mix(OpMix::reads(0.0));
+        assert!(ms.next_mission().iter().all(Operation::is_write));
+    }
+}

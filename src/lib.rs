@@ -1,0 +1,13 @@
+//! Root meta-crate of the RusKey reproduction workspace.
+//!
+//! Re-exports every workspace crate so the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/` can use
+//! one dependency. Library users should depend on the individual crates
+//! (most importantly [`ruskey`]) directly.
+
+pub use ruskey;
+pub use ruskey_analysis as analysis;
+pub use ruskey_lsm as lsm;
+pub use ruskey_rl as rl;
+pub use ruskey_storage as storage;
+pub use ruskey_workload as workload;
