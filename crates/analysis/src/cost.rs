@@ -57,9 +57,8 @@ pub fn level_cost_ns(p: &CostParams, fpr: f64, k: f64) -> f64 {
     let query_io = fpr * p.read_io_ns * k * p.gamma;
     let query_cpu = p.cpu_probe_ns * k * p.gamma;
     let upd = 1.0 - p.gamma;
-    let update_io = (p.size_ratio * p.entry_bytes) / (p.page_bytes * k)
-        * (p.read_io_ns + p.write_io_ns)
-        * upd;
+    let update_io =
+        (p.size_ratio * p.entry_bytes) / (p.page_bytes * k) * (p.read_io_ns + p.write_io_ns) * upd;
     let update_cpu = (p.size_ratio / k) * p.cpu_merge_ns * upd;
     query_io + query_cpu + update_io + update_cpu
 }
@@ -73,7 +72,8 @@ pub fn optimal_k(p: &CostParams, fpr: f64) -> f64 {
     let upd = 1.0 - p.gamma;
     let x = p.size_ratio * p.entry_bytes * (p.read_io_ns + p.write_io_ns) * upd
         + p.size_ratio * p.page_bytes * p.cpu_merge_ns * upd;
-    let denom = p.page_bytes * fpr * p.read_io_ns * p.gamma + p.page_bytes * p.cpu_probe_ns * p.gamma;
+    let denom =
+        p.page_bytes * fpr * p.read_io_ns * p.gamma + p.page_bytes * p.cpu_probe_ns * p.gamma;
     if denom <= 0.0 {
         return f64::INFINITY;
     }

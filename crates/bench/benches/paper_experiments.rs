@@ -27,11 +27,16 @@ fn table2(c: &mut Criterion) {
 
 fn fig6(c: &mut Criterion) {
     let scale = bench_scale();
-    c.bench_function("fig6_static_workloads", |b| b.iter(|| black_box(exp::fig6(&scale))));
+    c.bench_function("fig6_static_workloads", |b| {
+        b.iter(|| black_box(exp::fig6(&scale)))
+    });
 }
 
 fn fig7(c: &mut Criterion) {
-    let scale = ExperimentScale { missions: 6, ..bench_scale() };
+    let scale = ExperimentScale {
+        missions: 6,
+        ..bench_scale()
+    };
     c.bench_function("fig7_dynamic_workload", |b| {
         b.iter(|| {
             let series = exp::fig7(&scale);
@@ -42,17 +47,23 @@ fn fig7(c: &mut Criterion) {
 
 fn fig8(c: &mut Criterion) {
     let scale = bench_scale();
-    c.bench_function("fig8_monkey_scheme", |b| b.iter(|| black_box(exp::fig8(&scale))));
+    c.bench_function("fig8_monkey_scheme", |b| {
+        b.iter(|| black_box(exp::fig8(&scale)))
+    });
 }
 
 fn fig9(c: &mut Criterion) {
     let scale = bench_scale();
-    c.bench_function("fig9_per_level_policies", |b| b.iter(|| black_box(exp::fig9(&scale))));
+    c.bench_function("fig9_per_level_policies", |b| {
+        b.iter(|| black_box(exp::fig9(&scale)))
+    });
 }
 
 fn fig10(c: &mut Criterion) {
     let scale = bench_scale();
-    c.bench_function("fig10_transition_methods", |b| b.iter(|| black_box(exp::fig10(&scale))));
+    c.bench_function("fig10_transition_methods", |b| {
+        b.iter(|| black_box(exp::fig10(&scale)))
+    });
 }
 
 fn fig11(c: &mut Criterion) {
@@ -66,13 +77,20 @@ fn fig11(c: &mut Criterion) {
 }
 
 fn fig12(c: &mut Criterion) {
-    let scale = ExperimentScale { missions: 4, ..bench_scale() };
-    c.bench_function("fig12_greedy_heuristics", |b| b.iter(|| black_box(exp::fig12(&scale))));
+    let scale = ExperimentScale {
+        missions: 4,
+        ..bench_scale()
+    };
+    c.bench_function("fig12_greedy_heuristics", |b| {
+        b.iter(|| black_box(exp::fig12(&scale)))
+    });
 }
 
 fn fig13(c: &mut Criterion) {
     let scale = bench_scale();
-    c.bench_function("fig13_model_update_cost", |b| b.iter(|| black_box(exp::fig13(&scale))));
+    c.bench_function("fig13_model_update_cost", |b| {
+        b.iter(|| black_box(exp::fig13(&scale)))
+    });
 }
 
 fn bruteforce(c: &mut Criterion) {

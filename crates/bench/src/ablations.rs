@@ -202,7 +202,10 @@ mod tests {
         for (label, k_read, k_bal, k_write) in &rows {
             assert!(!label.is_empty());
             // More reads -> more aggressive compaction (never the reverse).
-            assert!(k_read <= k_bal && k_bal <= k_write, "{label}: {k_read} {k_bal} {k_write}");
+            assert!(
+                k_read <= k_bal && k_bal <= k_write,
+                "{label}: {k_read} {k_bal} {k_write}"
+            );
         }
     }
 

@@ -1,15 +1,18 @@
 //! `repro` — regenerates every table and figure of the RusKey paper.
 //!
 //! ```text
-//! repro <experiment> [--scale small|full] [--csv DIR]
+//! repro <experiment> [--scale small|full] [--csv DIR] [--json PATH]
 //!
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
-//!   bruteforce  all  ablations  lab
+//!   bruteforce  shard_scaling  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
-//! the per-mission series as CSV files for plotting.
+//! the per-mission series as CSV files for plotting. The `shard_scaling`
+//! experiment (also part of `all`) writes its rows as JSON — to `--json
+//! PATH` when given, else to `shard_scaling.json` — so the engine's
+//! throughput trajectory is machine-comparable across PRs.
 
 use std::io::Write;
 
@@ -20,6 +23,7 @@ struct Args {
     experiment: String,
     scale: ExperimentScale,
     csv_dir: Option<String>,
+    json_path: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -27,9 +31,14 @@ fn parse_args() -> Args {
     let mut experiment = String::from("all");
     let mut scale = repro_scale();
     let mut csv_dir = None;
+    let mut json_path = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = argv.get(i).cloned();
+            }
             "--scale" => {
                 i += 1;
                 scale = match argv.get(i).map(String::as_str) {
@@ -51,7 +60,12 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { experiment, scale, csv_dir }
+    Args {
+        experiment,
+        scale,
+        csv_dir,
+        json_path,
+    }
 }
 
 /// The default reproduction scale (a few minutes for `all`).
@@ -94,7 +108,10 @@ fn run_table2(scale: &ExperimentScale) {
     for row in table2(scale) {
         println!(
             "{:<12}{:>16.2}{:>26}{:>26}",
-            row.strategy, row.analytic_ios, row.measured_immediate_pages, row.measured_additional_pages
+            row.strategy,
+            row.analytic_ios,
+            row.measured_immediate_pages,
+            row.measured_additional_pages
         );
     }
     println!();
@@ -104,7 +121,11 @@ fn run_comparisons(name: &str, comparisons: &[Comparison], csv: &Option<String>)
     println!("== {name} ==");
     for c in comparisons {
         print!("{}", comparison_summary(c, 0.4));
-        write_csv(csv, &format!("{name}_{}", c.workload), &series_csv(&c.series));
+        write_csv(
+            csv,
+            &format!("{name}_{}", c.workload),
+            &series_csv(&c.series),
+        );
         // Policy trace of RusKey (the paper's top subplots).
         if let Some(rk) = c.series.iter().find(|s| s.method == "RusKey") {
             let trace: Vec<u32> = rk
@@ -162,7 +183,11 @@ fn run_fig10(scale: &ExperimentScale, csv: &Option<String>) {
     let half = scale.missions / 2;
     println!(
         "{:<12}{:>22}{:>22}{:>20}{:>16}",
-        "strategy", "peak write lat (s)", "mean write after (s)", "mean read after (s)", "total (s)"
+        "strategy",
+        "peak write lat (s)",
+        "mean write after (s)",
+        "mean read after (s)",
+        "total (s)"
     );
     for s in &series {
         let after: Vec<_> = s.records.iter().filter(|r| r.mission >= half).collect();
@@ -174,7 +199,10 @@ fn run_fig10(scale: &ExperimentScale, csv: &Option<String>) {
             .iter()
             .map(|r| r.write_latency_s + r.read_latency_s)
             .sum();
-        println!("{:<12}{:>22.4}{:>22.4}{:>20.4}{:>16.2}", s.method, peak, mw, mr, total);
+        println!(
+            "{:<12}{:>22.4}{:>22.4}{:>20.4}{:>16.2}",
+            s.method, peak, mw, mr, total
+        );
     }
     println!("(paper: end-to-end 51s greedy / 44s lazy / 40s flexible; shapes should match)");
     println!();
@@ -193,7 +221,12 @@ fn run_fig13(scale: &ExperimentScale) {
     println!("== Fig 13: model update time vs LSM time per mission ==");
     println!(
         "{:<16}{:>18}{:>16}{:>18}{:>12}{:>20}",
-        "workload", "LSM virtual (s)", "LSM real (s)", "model real (s)", "model/LSM", "@50k-op missions"
+        "workload",
+        "LSM virtual (s)",
+        "LSM real (s)",
+        "model real (s)",
+        "model/LSM",
+        "@50k-op missions"
     );
     for r in fig13(scale) {
         println!(
@@ -206,7 +239,9 @@ fn run_fig13(scale: &ExperimentScale) {
             100.0 * r.ratio_at_paper_scale(),
         );
     }
-    println!("(the model update is a constant per mission; at the paper's 50 000-op missions its share");
+    println!(
+        "(the model update is a constant per mission; at the paper's 50 000-op missions its share"
+    );
     println!(" drops to the last column — the paper reports <= 1%)");
     println!();
 }
@@ -232,7 +267,10 @@ fn run_ablations(scale: &ExperimentScale) {
     }
     println!();
     println!("== Ablation: white-box K* across device cost models ==");
-    println!("  {:<12}{:>14}{:>14}{:>14}", "device", "K*(γ=0.9)", "K*(γ=0.5)", "K*(γ=0.1)");
+    println!(
+        "  {:<12}{:>14}{:>14}{:>14}",
+        "device", "K*(γ=0.9)", "K*(γ=0.5)", "K*(γ=0.1)"
+    );
     for (label, kr, kb, kw) in ablation_cost_model() {
         println!("  {label:<12}{kr:>14}{kb:>14}{kw:>14}");
     }
@@ -246,6 +284,30 @@ fn run_ablations(scale: &ExperimentScale) {
             r.converged_at.map_or("never".into(), |m| m.to_string()),
             r.final_k1
         );
+    }
+    println!();
+}
+
+fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Shard scaling: throughput vs shard count (balanced workload) ==");
+    let rows = shard_scaling(scale, &[1, 2, 4, 8]);
+    println!(
+        "{:<8}{:>12}{:>14}{:>18}{:>14}",
+        "shards", "wall (s)", "kops/s", "virtual ns/op", "threads"
+    );
+    for r in &rows {
+        println!(
+            "{:<8}{:>12.3}{:>14.1}{:>18.1}{:>14}",
+            r.shards, r.wall_s, r.kops_per_s, r.virtual_ns_per_op, r.parallelism
+        );
+    }
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "shard_scaling.json".to_string());
+    let json = shard_scaling_json(scale_label, &rows);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
     }
     println!();
 }
@@ -337,6 +399,14 @@ fn main() {
     }
     if want("bruteforce") {
         run_bruteforce(scale);
+    }
+    if want("shard_scaling") {
+        let label = match scale.load_entries {
+            n if n >= 200_000 => "full",
+            n if n <= 2_000 => "tiny",
+            _ => "small",
+        };
+        run_shard_scaling(scale, label, &args.json_path);
     }
     if args.experiment == "ablations" {
         run_ablations(scale);

@@ -34,7 +34,11 @@ pub struct Comparison {
 }
 
 fn lerp_tuner(scale: &ExperimentScale, monkey: bool) -> Box<dyn Tuner> {
-    let scheme = if monkey { PropagationScheme::Monkey } else { PropagationScheme::Uniform };
+    let scheme = if monkey {
+        PropagationScheme::Monkey
+    } else {
+        PropagationScheme::Uniform
+    };
     let mut cfg = LerpConfig::paper_default(scheme);
     cfg.seed = scale.seed.wrapping_mul(31).wrapping_add(7);
     Box::new(Lerp::new(cfg))
@@ -52,7 +56,10 @@ fn base_cfg(monkey: bool) -> RusKeyConfig {
 /// Lazy (K=10 = T).
 fn fixed_baselines() -> Vec<(String, Box<dyn Tuner>)> {
     vec![
-        ("Aggressive(K=1)".into(), Box::new(FixedPolicy::aggressive()) as Box<dyn Tuner>),
+        (
+            "Aggressive(K=1)".into(),
+            Box::new(FixedPolicy::aggressive()) as Box<dyn Tuner>,
+        ),
         ("Moderate(K=5)".into(), Box::new(FixedPolicy::moderate())),
         ("Lazy(K=10)".into(), Box::new(FixedPolicy::lazy())),
     ]
@@ -120,7 +127,10 @@ fn static_comparison(
                     ),
                 });
             }
-            Comparison { workload: (*label).into(), series }
+            Comparison {
+                workload: (*label).into(),
+                series,
+            }
         })
         .collect()
 }
@@ -133,7 +143,12 @@ pub fn fig11_range(scale: &ExperimentScale) -> Comparison {
         .with_distribution(KeyDistribution::zipfian_default());
     let mut series = vec![Series {
         method: "RusKey".into(),
-        records: run_static(base_cfg(false), scale, lerp_tuner(scale, false), spec.clone()),
+        records: run_static(
+            base_cfg(false),
+            scale,
+            lerp_tuner(scale, false),
+            spec.clone(),
+        ),
     }];
     for (name, tuner) in fixed_baselines() {
         series.push(Series {
@@ -141,7 +156,10 @@ pub fn fig11_range(scale: &ExperimentScale) -> Comparison {
             records: run_static(base_cfg(false), scale, tuner, spec.clone()),
         });
     }
-    Comparison { workload: "range-balanced".into(), series }
+    Comparison {
+        workload: "range-balanced".into(),
+        series,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -149,8 +167,13 @@ pub fn fig11_range(scale: &ExperimentScale) -> Comparison {
 // ---------------------------------------------------------------------
 
 /// Labels of the five Fig. 7 sessions, in order.
-pub const FIG7_SESSIONS: [&str; 5] =
-    ["read-heavy", "balanced", "write-heavy", "write-inclined", "read-inclined"];
+pub const FIG7_SESSIONS: [&str; 5] = [
+    "read-heavy",
+    "balanced",
+    "write-heavy",
+    "write-inclined",
+    "read-inclined",
+];
 
 /// Fig. 7: the five-session dynamic workload, RusKey vs fixed baselines.
 pub fn fig7(scale: &ExperimentScale) -> Vec<Series> {
@@ -171,7 +194,12 @@ pub fn fig7(scale: &ExperimentScale) -> Vec<Series> {
     for (name, tuner) in fixed_baselines() {
         out.push(Series {
             method: name,
-            records: run_dynamic(base_cfg(false), scale, tuner, mk_workload(scale.seed.wrapping_add(1))),
+            records: run_dynamic(
+                base_cfg(false),
+                scale,
+                tuner,
+                mk_workload(scale.seed.wrapping_add(1)),
+            ),
         });
     }
     out
@@ -227,7 +255,12 @@ pub fn ranking_from_series(series: &[Series], sessions: usize) -> RankingTable {
         .iter()
         .map(|row| row.iter().sum::<usize>() as f64 / sessions as f64)
         .collect();
-    RankingTable { methods, latency, ranks, avg_rank }
+    RankingTable {
+        methods,
+        latency,
+        ranks,
+        avg_rank,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -352,7 +385,10 @@ pub fn fig10(scale: &ExperimentScale) -> Vec<Series> {
                     converged: true,
                 });
             }
-            Series { method: strategy.name().into(), records }
+            Series {
+                method: strategy.name().into(),
+                records,
+            }
         })
         .collect()
 }
@@ -443,13 +479,23 @@ pub fn fig13(scale: &ExperimentScale) -> Vec<Fig13Row> {
         .iter()
         .map(|(label, mix, monkey)| {
             let spec = scale.spec().with_mix(*mix);
-            let records =
-                run_static(base_cfg(*monkey), scale, lerp_tuner(scale, *monkey), spec);
+            let records = run_static(base_cfg(*monkey), scale, lerp_tuner(scale, *monkey), spec);
             let n = records.len() as f64;
-            let virt =
-                records.iter().map(|r| r.latency_ms_per_op).sum::<f64>() / 1e3 * scale.mission_size as f64 / n;
-            let real = records.iter().map(|r| r.real_process_ns as f64).sum::<f64>() / n / 1e9;
-            let model = records.iter().map(|r| r.model_update_ns as f64).sum::<f64>() / n / 1e9;
+            let virt = records.iter().map(|r| r.latency_ms_per_op).sum::<f64>() / 1e3
+                * scale.mission_size as f64
+                / n;
+            let real = records
+                .iter()
+                .map(|r| r.real_process_ns as f64)
+                .sum::<f64>()
+                / n
+                / 1e9;
+            let model = records
+                .iter()
+                .map(|r| r.model_update_ns as f64)
+                .sum::<f64>()
+                / n
+                / 1e9;
             Fig13Row {
                 label: (*label).into(),
                 lsm_virtual_s: virt,
@@ -491,8 +537,7 @@ pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
 
     // Baseline: a store born with the new policy processes the same window.
     let window_pages = |strategy: Option<TransitionStrategy>, k_old: u32, k_new: u32| {
-        let cfg = base_cfg(false)
-            .with_transition(strategy.unwrap_or(TransitionStrategy::Flexible));
+        let cfg = base_cfg(false).with_transition(strategy.unwrap_or(TransitionStrategy::Flexible));
         let mut db = prepared_store(cfg, scale, Box::new(NoOpTuner));
         db.tree_mut().set_policy_all(k_old);
         let spec = scale.spec().with_mix(OpMix::balanced());
@@ -563,8 +608,14 @@ pub struct BruteForceRow {
 pub fn bruteforce(scale: &ExperimentScale) -> Vec<BruteForceRow> {
     let spec = scale.spec().with_mix(OpMix::write_heavy());
     let methods: Vec<(String, Box<dyn Tuner>)> = vec![
-        ("RusKey (level-based + propagation)".into(), lerp_tuner(scale, false)),
-        ("Brute-force whole-tree RL".into(), Box::new(BruteForceLerp::new(4, scale.seed))),
+        (
+            "RusKey (level-based + propagation)".into(),
+            lerp_tuner(scale, false),
+        ),
+        (
+            "Brute-force whole-tree RL".into(),
+            Box::new(BruteForceLerp::new(4, scale.seed)),
+        ),
         (
             "Per-level RL, no propagation".into(),
             Box::new(PerLevelNoPropagation::new(4, scale.seed)),
@@ -576,8 +627,7 @@ pub fn bruteforce(scale: &ExperimentScale) -> Vec<BruteForceRow> {
             let records = run_static(base_cfg(false), scale, tuner, spec.clone());
             let converged_at = records.iter().position(|r| r.converged);
             let tail = converged_mean_latency(&records, 0.3);
-            let model_s =
-                records.iter().map(|r| r.model_update_ns).sum::<u64>() as f64 / 1e9;
+            let model_s = records.iter().map(|r| r.model_update_ns).sum::<u64>() as f64 / 1e9;
             BruteForceRow {
                 method,
                 converged: converged_at.is_some(),
@@ -595,7 +645,10 @@ pub fn bruteforce(scale: &ExperimentScale) -> Vec<BruteForceRow> {
 
 /// Runs every YCSB preset against RusKey and the fixed baselines,
 /// returning tail latencies. Used by the `ycsb_bench` example.
-pub fn ycsb_sweep(scale: &ExperimentScale, presets: &[Preset]) -> Vec<(String, Vec<(String, f64)>)> {
+pub fn ycsb_sweep(
+    scale: &ExperimentScale,
+    presets: &[Preset],
+) -> Vec<(String, Vec<(String, f64)>)> {
     presets
         .iter()
         .map(|p| {
@@ -608,7 +661,12 @@ pub fn ycsb_sweep(scale: &ExperimentScale, presets: &[Preset]) -> Vec<(String, V
             let mut rows = vec![(
                 "RusKey".to_string(),
                 converged_mean_latency(
-                    &run_static(base_cfg(false), scale, lerp_tuner(scale, false), spec.clone()),
+                    &run_static(
+                        base_cfg(false),
+                        scale,
+                        lerp_tuner(scale, false),
+                        spec.clone(),
+                    ),
                     0.3,
                 ),
             )];

@@ -11,7 +11,9 @@
 pub mod ablations;
 pub mod experiments;
 pub mod output;
+pub mod scaling;
 
 pub use ablations::*;
 pub use experiments::*;
 pub use output::*;
+pub use scaling::*;

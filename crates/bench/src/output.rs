@@ -1,6 +1,7 @@
-//! Plain-text table and CSV rendering for experiment results.
+//! Plain-text table, CSV, and JSON rendering for experiment results.
 
 use crate::experiments::{Comparison, RankingTable, Series};
+use crate::scaling::ShardScalingRow;
 
 /// Renders a mission-series comparison as CSV: `mission,method,...`.
 pub fn series_csv(series: &[Series]) -> String {
@@ -38,14 +39,15 @@ pub fn comparison_summary(c: &Comparison, tail: f64) -> String {
             (s.method.clone(), mean)
         })
         .collect();
-    let best = rows
-        .iter()
-        .map(|(_, v)| *v)
-        .fold(f64::INFINITY, f64::min);
+    let best = rows.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let mut out = format!("workload: {}\n", c.workload);
     for (m, v) in rows {
-        let marker = if (v - best).abs() < 1e-12 { "  <-- best" } else { "" };
+        let marker = if (v - best).abs() < 1e-12 {
+            "  <-- best"
+        } else {
+            ""
+        };
         out.push_str(&format!("  {m:<22} {v:>10.4} ms/op{marker}\n"));
     }
     out
@@ -62,14 +64,48 @@ pub fn ranking_table(t: &RankingTable, session_labels: &[&str]) -> String {
     for (m, method) in t.methods.iter().enumerate() {
         out.push_str(&format!("{method:<28}"));
         for s in 0..session_labels.len() {
-            out.push_str(&format!(
-                "{:>12.4}({})",
-                t.latency[m][s], t.ranks[m][s]
-            ));
+            out.push_str(&format!("{:>12.4}({})", t.latency[m][s], t.ranks[m][s]));
         }
         out.push_str(&format!("{:>12.2}\n", t.avg_rank[m]));
     }
     out
+}
+
+/// Renders the shard-scaling experiment as a machine-readable JSON
+/// document (hand-rolled — the workspace carries no serde), the anchor of
+/// the repo's performance trajectory across PRs.
+pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"shard_scaling\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"wall_s\": {:.6}, \
+             \"kops_per_s\": {:.3}, \"virtual_ns_per_op\": {:.1}, \"parallelism\": {}}}{}\n",
+            r.shards,
+            r.missions,
+            r.ops_total,
+            r.wall_s,
+            r.kops_per_s,
+            r.virtual_ns_per_op,
+            r.parallelism,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Simple aligned two-column table.
@@ -104,7 +140,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let s = vec![Series { method: "X".into(), records: vec![record(0, 1.5), record(1, 2.0)] }];
+        let s = vec![Series {
+            method: "X".into(),
+            records: vec![record(0, 1.5), record(1, 2.0)],
+        }];
         let csv = series_csv(&s);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -117,8 +156,14 @@ mod tests {
         let c = Comparison {
             workload: "w".into(),
             series: vec![
-                Series { method: "slow".into(), records: vec![record(0, 5.0)] },
-                Series { method: "fast".into(), records: vec![record(0, 1.0)] },
+                Series {
+                    method: "slow".into(),
+                    records: vec![record(0, 5.0)],
+                },
+                Series {
+                    method: "fast".into(),
+                    records: vec![record(0, 1.0)],
+                },
             ],
         };
         let s = comparison_summary(&c, 1.0);
@@ -131,8 +176,45 @@ mod tests {
     }
 
     #[test]
+    fn shard_scaling_json_is_well_formed() {
+        let rows = vec![
+            ShardScalingRow {
+                shards: 1,
+                missions: 10,
+                ops_total: 1000,
+                wall_s: 0.5,
+                kops_per_s: 2.0,
+                virtual_ns_per_op: 12345.6,
+                parallelism: 1,
+            },
+            ShardScalingRow {
+                shards: 4,
+                missions: 10,
+                ops_total: 1000,
+                wall_s: 0.2,
+                kops_per_s: 5.0,
+                virtual_ns_per_op: 12345.6,
+                parallelism: 4,
+            },
+        ];
+        let json = shard_scaling_json("small", &rows);
+        assert!(json.contains("\"experiment\": \"shard_scaling\""));
+        assert!(json.contains("\"shards\": 4"));
+        // Exactly one comma between the two row objects, none trailing.
+        assert_eq!(json.matches("}},").count(), 0);
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(!json.contains(",\n  ]"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
     fn kv_table_aligns() {
-        let out = kv_table("T", &[("a".into(), "1".into()), ("long-key".into(), "2".into())]);
+        let out = kv_table(
+            "T",
+            &[("a".into(), "1".into()), ("long-key".into(), "2".into())],
+        );
         assert!(out.contains("T\n"));
         assert!(out.contains("long-key"));
     }

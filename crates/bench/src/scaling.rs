@@ -1,0 +1,109 @@
+//! Shard-count scaling experiment (beyond the paper): throughput of the
+//! sharded engine core versus number of shards on a mixed workload.
+//!
+//! This is the repo's performance trajectory anchor: `repro shard_scaling`
+//! prints the table and writes it as JSON so successive PRs can compare
+//! wall-clock throughput of the parallel engine.
+
+use std::time::Instant;
+
+use ruskey::db::RusKeyConfig;
+use ruskey::runner::ExperimentScale;
+use ruskey::sharded::ShardedRusKey;
+use ruskey_workload::{bulk_load_pairs, OpGenerator, OpMix, Operation};
+
+/// One shard count's measurement.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Number of shards.
+    pub shards: usize,
+    /// Missions executed.
+    pub missions: usize,
+    /// Total operations executed.
+    pub ops_total: u64,
+    /// Wall-clock seconds spent executing missions.
+    pub wall_s: f64,
+    /// Wall-clock throughput in kops/s.
+    pub kops_per_s: f64,
+    /// Mean virtual device time per operation (ns) — the simulator's
+    /// deterministic cost metric.
+    pub virtual_ns_per_op: f64,
+    /// Maximum distinct OS worker threads observed in one mission.
+    pub parallelism: usize,
+}
+
+/// Runs the balanced mixed workload at each shard count and measures
+/// wall-clock throughput plus virtual cost. Workload generation happens
+/// up front so only engine time is measured.
+pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<ShardScalingRow> {
+    shard_counts
+        .iter()
+        .map(|&n| {
+            let mut db = ShardedRusKey::untuned(RusKeyConfig::scaled_default(), n, scale.disk());
+            db.bulk_load(bulk_load_pairs(
+                scale.load_entries,
+                scale.key_len,
+                scale.value_len,
+                scale.seed,
+            ));
+            let spec = scale.spec().with_mix(OpMix::balanced());
+            let mut g = OpGenerator::new(spec, scale.seed.wrapping_add(1));
+            let missions: Vec<Vec<Operation>> = (0..scale.missions)
+                .map(|_| g.take_ops(scale.mission_size))
+                .collect();
+
+            let mut ops_total = 0u64;
+            let mut virtual_ns = 0u64;
+            let mut parallelism = 0usize;
+            let t0 = Instant::now();
+            for ops in &missions {
+                let report = db.run_mission(ops);
+                ops_total += report.ops;
+                virtual_ns += report.end_to_end_ns;
+                parallelism = parallelism.max(db.last_parallelism());
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            ShardScalingRow {
+                shards: n,
+                missions: scale.missions,
+                ops_total,
+                wall_s,
+                kops_per_s: ops_total as f64 / wall_s.max(1e-9) / 1e3,
+                virtual_ns_per_op: virtual_ns as f64 / ops_total.max(1) as f64,
+                parallelism,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rows_cover_every_shard_count() {
+        let scale = ExperimentScale {
+            load_entries: 1500,
+            mission_size: 150,
+            missions: 6,
+            ..ExperimentScale::tiny()
+        };
+        let rows = shard_scaling(&scale, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].shards, 1);
+        assert_eq!(rows[0].parallelism, 1);
+        assert_eq!(rows[1].shards, 2);
+        assert_eq!(
+            rows[1].parallelism, 2,
+            "two shards must use two worker threads"
+        );
+        // Same workload at every shard count.
+        assert_eq!(rows[0].ops_total, rows[1].ops_total);
+        assert!(rows
+            .iter()
+            .all(|r| r.ops_total == (scale.missions * scale.mission_size) as u64));
+        assert!(rows
+            .iter()
+            .all(|r| r.kops_per_s > 0.0 && r.virtual_ns_per_op > 0.0));
+    }
+}

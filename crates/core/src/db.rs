@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use ruskey_lsm::{BloomScheme, FlsmTree, LsmConfig, TransitionStrategy};
+use ruskey_lsm::{BloomScheme, ConfigError, FlsmTree, LsmConfig, TransitionStrategy};
 use ruskey_storage::Storage;
 use ruskey_workload::Operation;
 
@@ -57,29 +57,97 @@ pub struct RusKey {
     last_report: Option<MissionReport>,
 }
 
+/// Executes one workload operation against a tree, discarding read
+/// results (mission semantics: reads are performed for their cost, the
+/// caller does not consume their output). Shared by [`RusKey`] and the
+/// per-shard workers of [`crate::sharded::ShardedRusKey`].
+pub(crate) fn execute_op(tree: &mut FlsmTree, op: &Operation) {
+    match op {
+        Operation::Get { key } => {
+            tree.get(key);
+        }
+        Operation::Put { key, value } => {
+            tree.put(key.clone(), value.clone());
+        }
+        Operation::Delete { key } => {
+            tree.delete(key.clone());
+        }
+        Operation::Scan { start, end, limit } => {
+            tree.scan(start, end, *limit);
+        }
+    }
+}
+
+/// Lets a tuner act on a finished mission: runs it on the aggregated
+/// report and observation, applies its `(level, K)` changes through
+/// `apply`, and records the model-update time on the report. Shared by
+/// [`RusKey`] (applying to its one tree) and
+/// [`crate::sharded::ShardedRusKey`] (fanning out to every shard) so
+/// tuning bookkeeping cannot diverge between the two.
+pub(crate) fn tune_mission(
+    tuner: &mut dyn Tuner,
+    report: &mut MissionReport,
+    obs: &TreeObservation,
+    mut apply: impl FnMut(usize, u32),
+) {
+    let model_before = tuner.model_update_ns();
+    let changes = tuner.tune(report, obs);
+    for (level, k) in changes {
+        apply(level, k);
+    }
+    report.model_update_ns = tuner.model_update_ns().saturating_sub(model_before);
+}
+
 impl RusKey {
-    /// Creates a store driven by an arbitrary tuner (fixed baselines,
-    /// greedy heuristics, …).
-    pub fn with_tuner(
+    /// Creates a store driven by an arbitrary tuner, rejecting invalid
+    /// configurations instead of panicking.
+    pub fn try_with_tuner(
         cfg: RusKeyConfig,
         storage: Arc<dyn Storage>,
         tuner: Box<dyn Tuner>,
-    ) -> Self {
-        Self {
-            tree: FlsmTree::new(cfg.lsm, storage),
+    ) -> Result<Self, ConfigError> {
+        Ok(Self {
+            tree: FlsmTree::try_new(cfg.lsm, storage)?,
             tuner,
             collector: StatsCollector::new(),
             last_report: None,
-        }
+        })
+    }
+
+    /// Creates a store tuned by Lerp, rejecting invalid configurations
+    /// instead of panicking.
+    pub fn try_with_lerp(
+        cfg: RusKeyConfig,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, ConfigError> {
+        let lerp = Lerp::new(cfg.lerp.clone());
+        Self::try_with_tuner(cfg, storage, Box::new(lerp))
+    }
+
+    /// Creates a store driven by an arbitrary tuner (fixed baselines,
+    /// greedy heuristics, …).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`RusKey::try_with_tuner`] for fallible construction.
+    pub fn with_tuner(cfg: RusKeyConfig, storage: Arc<dyn Storage>, tuner: Box<dyn Tuner>) -> Self {
+        Self::try_with_tuner(cfg, storage, tuner)
+            .unwrap_or_else(|e| panic!("invalid RusKeyConfig: {e}"))
     }
 
     /// Creates a store tuned by Lerp (the RusKey system of the paper).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`RusKey::try_with_lerp`] for fallible construction.
     pub fn with_lerp(cfg: RusKeyConfig, storage: Arc<dyn Storage>) -> Self {
-        let lerp = Lerp::new(cfg.lerp.clone());
-        Self::with_tuner(cfg, storage, Box::new(lerp))
+        Self::try_with_lerp(cfg, storage).unwrap_or_else(|e| panic!("invalid RusKeyConfig: {e}"))
     }
 
     /// Creates an untuned store (whatever policies the tree starts with).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
     pub fn untuned(cfg: RusKeyConfig, storage: Arc<dyn Storage>) -> Self {
         Self::with_tuner(cfg, storage, Box::new(NoOpTuner))
     }
@@ -168,31 +236,15 @@ impl RusKey {
     pub fn run_mission(&mut self, ops: &[Operation]) -> MissionReport {
         let t0 = Instant::now();
         for op in ops {
-            match op {
-                Operation::Get { key } => {
-                    self.tree.get(key);
-                }
-                Operation::Put { key, value } => {
-                    self.tree.put(key.clone(), value.clone());
-                }
-                Operation::Delete { key } => {
-                    self.tree.delete(key.clone());
-                }
-                Operation::Scan { start, end, limit } => {
-                    self.tree.scan(start, end, *limit);
-                }
-            }
+            execute_op(&mut self.tree, op);
         }
         let process_ns = t0.elapsed().as_nanos() as u64;
         let mut report = self.collector.report_mission(self.tree.stats(), process_ns);
 
-        let model_before = self.tuner.model_update_ns();
         let obs = self.observe();
-        let changes = self.tuner.tune(&report, &obs);
-        for (level, k) in changes {
-            self.tree.set_policy(level, k);
-        }
-        report.model_update_ns = self.tuner.model_update_ns().saturating_sub(model_before);
+        tune_mission(self.tuner.as_mut(), &mut report, &obs, |level, k| {
+            self.tree.set_policy(level, k)
+        });
         report.policies_after = self.tree.policies();
         self.last_report = Some(report.clone());
         report
@@ -215,6 +267,19 @@ mod tests {
 
     fn disk() -> Arc<SimulatedDisk> {
         SimulatedDisk::new(512, CostModel::NVME)
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_configs() {
+        let mut cfg = small_cfg();
+        cfg.lsm.size_ratio = 1;
+        assert!(RusKey::try_with_lerp(cfg.clone(), disk()).is_err());
+        let err = RusKey::try_with_tuner(cfg, disk(), Box::new(FixedPolicy::moderate()))
+            .err()
+            .expect("must reject T < 2");
+        assert!(err.to_string().contains("size_ratio"));
+        // Valid configs still construct.
+        assert!(RusKey::try_with_lerp(small_cfg(), disk()).is_ok());
     }
 
     #[test]
@@ -253,31 +318,50 @@ mod tests {
     fn fixed_tuner_applies_policy_in_first_mission() {
         let mut db = RusKey::with_tuner(small_cfg(), disk(), Box::new(FixedPolicy::new(4)));
         db.bulk_load(bulk_load_pairs(500, 16, 48, 1));
-        let spec = WorkloadSpec { key_space: 500, value_len: 48, ..WorkloadSpec::scaled_default(500) };
+        let spec = WorkloadSpec {
+            key_space: 500,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(500)
+        };
         let mut g = OpGenerator::new(spec, 2);
         let r = db.run_mission(&g.take_ops(100));
-        assert!(r.policies_after.iter().all(|&k| k == 4), "{:?}", r.policies_after);
+        assert!(
+            r.policies_after.iter().all(|&k| k == 4),
+            "{:?}",
+            r.policies_after
+        );
     }
 
     #[test]
     fn bulk_load_excluded_from_first_mission() {
         let mut db = RusKey::untuned(small_cfg(), disk());
         db.bulk_load(bulk_load_pairs(2000, 16, 48, 1));
-        let spec = WorkloadSpec { key_space: 2000, value_len: 48, ..WorkloadSpec::scaled_default(2000) }
-            .with_mix(OpMix::reads(1.0));
+        let spec = WorkloadSpec {
+            key_space: 2000,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(2000)
+        }
+        .with_mix(OpMix::reads(1.0));
         let mut g = OpGenerator::new(spec, 2);
         let r = db.run_mission(&g.take_ops(50));
         // 50 pure lookups: a tiny latency compared to loading 2000 entries.
         assert_eq!(r.ops, 50);
         assert_eq!(r.updates, 0);
-        assert!(r.end_to_end_ns < 50 * 1_000_000, "bulk load leaked into mission");
+        assert!(
+            r.end_to_end_ns < 50 * 1_000_000,
+            "bulk load leaked into mission"
+        );
     }
 
     #[test]
     fn lerp_store_tracks_model_time() {
         let mut db = RusKey::with_lerp(small_cfg(), disk());
         db.bulk_load(bulk_load_pairs(500, 16, 48, 1));
-        let spec = WorkloadSpec { key_space: 500, value_len: 48, ..WorkloadSpec::scaled_default(500) };
+        let spec = WorkloadSpec {
+            key_space: 500,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(500)
+        };
         let mut g = OpGenerator::new(spec, 2);
         let mut total_model = 0;
         for _ in 0..3 {

@@ -86,8 +86,8 @@ impl Tuner for DqnLerp {
 
         self.missions_in_phase += 1;
         let state = level_state(report, obs, 0);
-        let raw_cost = self.alpha * report.level_ns_per_op(0)
-            + (1.0 - self.alpha) * report.ns_per_op();
+        let raw_cost =
+            self.alpha * report.level_ns_per_op(0) + (1.0 - self.alpha) * report.ns_per_op();
         let cost = match self.cost_ema {
             Some(prev) => {
                 let c = (1.0 - self.reward_smoothing) * prev + self.reward_smoothing * raw_cost;
@@ -178,7 +178,10 @@ mod tests {
             updates: 500,
             end_to_end_ns: (cost * 1000.0) as u64,
             levels: vec![
-                LevelMissionStats { latency_ns: (cost * 500.0) as u64, ..Default::default() };
+                LevelMissionStats {
+                    latency_ns: (cost * 500.0) as u64,
+                    ..Default::default()
+                };
                 levels
             ],
             ..Default::default()

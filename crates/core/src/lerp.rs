@@ -329,8 +329,8 @@ impl Tuner for Lerp {
                 // noise do not mask a converged policy.
                 let current_k = obs.policies[level];
                 let greedy_delta = action_to_delta(agent.act(&state)[0]);
-                let greedy_target = (current_k as i64 + greedy_delta as i64)
-                    .clamp(1, obs.size_ratio as i64) as u32;
+                let greedy_target =
+                    (current_k as i64 + greedy_delta as i64).clamp(1, obs.size_ratio as i64) as u32;
                 self.greedy_targets.push_back(greedy_target);
                 while self.greedy_targets.len() > self.cfg.stability_window {
                     self.greedy_targets.pop_front();
@@ -378,7 +378,9 @@ impl Tuner for Lerp {
                     self.missions_in_phase = 0;
                     self.greedy_targets.clear();
                     if self.learned.len() < self.agents.len() {
-                        self.phase = Phase::Tune { agent_idx: agent_idx + 1 };
+                        self.phase = Phase::Tune {
+                            agent_idx: agent_idx + 1,
+                        };
                     } else {
                         self.phase = Phase::Converged;
                         self.gamma_ref = Some(ema);
@@ -497,7 +499,10 @@ mod tests {
         let k1 = lerp.learned_policies()[0];
         let k2 = lerp.learned_policies()[1];
         let want = ruskey_analysis::propagation::propagate_rounded(k1, k2, 10, 4);
-        assert_eq!(policies, want, "propagated layout mismatch (k1={k1}, k2={k2})");
+        assert_eq!(
+            policies, want,
+            "propagated layout mismatch (k1={k1}, k2={k2})"
+        );
     }
 
     #[test]

@@ -1,13 +1,35 @@
-//! **RusKey** — an RL-tuned LSM-tree key-value store for dynamic workloads.
+//! **RusKey** — an RL-tuned LSM-tree key-value store for dynamic workloads,
+//! with a sharded engine core for multi-core scaling.
 //!
 //! Reproduction of *"Learning to Optimize LSM-trees: Towards A Reinforcement
 //! Learning based Key-Value Store for Dynamic Workloads"* (Mo, Chen, Luo,
-//! Shan; SIGMOD 2023, arXiv:2308.07013).
+//! Shan; SIGMOD 2023, arXiv:2308.07013), grown toward a production-scale
+//! store.
 //!
-//! RusKey processes an application workload (lookups/updates/scans) in
-//! *missions*; after each mission its tuning model adjusts the per-level
-//! compaction policies of the underlying [FLSM-tree](ruskey_lsm::FlsmTree)
-//! using the flexible transition of §4. Two tuning models matter:
+//! # Architecture
+//!
+//! The engine core is **sharded**: [`sharded::ShardedRusKey`] hash-partitions
+//! the key space onto `N` independent [FLSM-trees](ruskey_lsm::FlsmTree)
+//! (each with its own memtable and levels) sharing one storage device.
+//! Missions execute in parallel — one scoped OS thread per shard, operations
+//! routed by the stable key hash of [`ruskey_workload::routing`]; cross-shard
+//! range scans are k-way merged. Tuning stays global and works exactly as in
+//! the paper:
+//!
+//! 1. per-shard statistics merge into one store-wide
+//!    [`ruskey_lsm::TreeStatsSnapshot`], from which the [`stats`] collector
+//!    builds the mission's [`MissionReport`];
+//! 2. a single tuner observes the aggregated report and tree structure;
+//! 3. its per-level policy changes fan out to every shard, applied via the
+//!    configured flexible transition (§4).
+//!
+//! [`db::RusKey`] is the single-tree engine — the `N = 1` case the paper
+//! evaluates — and remains the harness used by all paper experiments. An
+//! `N`-shard store is observationally equivalent to it for the same
+//! operation sequence (same get/scan results; identical mission counters at
+//! `N = 1`), which the integration suite asserts property-style.
+//!
+//! Two tuning models matter:
 //!
 //! * [`lerp::Lerp`] — the paper's level-based DDPG model with policy
 //!   propagation (§5): it learns Level 1 (and Level 2 under the Monkey
@@ -19,10 +41,18 @@
 //!
 //! ```
 //! use ruskey::db::{RusKey, RusKeyConfig};
+//! use ruskey::sharded::ShardedRusKey;
 //! use ruskey_storage::{CostModel, SimulatedDisk};
 //!
+//! // The paper's single-tree store…
 //! let disk = SimulatedDisk::new(4096, CostModel::NVME);
 //! let mut db = RusKey::with_lerp(RusKeyConfig::scaled_default(), disk);
+//! db.put(&b"k"[..], &b"v"[..]);
+//! assert_eq!(db.get(b"k").as_deref(), Some(&b"v"[..]));
+//!
+//! // …and the same engine hash-partitioned across four shards.
+//! let disk = SimulatedDisk::new(4096, CostModel::NVME);
+//! let mut db = ShardedRusKey::with_lerp(RusKeyConfig::scaled_default(), 4, disk);
 //! db.put(&b"k"[..], &b"v"[..]);
 //! assert_eq!(db.get(b"k").as_deref(), Some(&b"v"[..]));
 //! ```
@@ -33,6 +63,7 @@ pub mod db;
 pub mod dqn_lerp;
 pub mod lerp;
 pub mod runner;
+pub mod sharded;
 pub mod state;
 pub mod stats;
 pub mod tuner;
@@ -40,6 +71,7 @@ pub mod tuner;
 pub use db::{RusKey, RusKeyConfig};
 pub use dqn_lerp::DqnLerp;
 pub use lerp::{Lerp, LerpConfig};
+pub use sharded::ShardedRusKey;
 pub use stats::{LevelMissionStats, MissionReport, StatsCollector};
 pub use tuner::{
     BruteForceLerp, FixedPolicy, GreedyHeuristic, LazyLeveling, NoOpTuner, PerLevelNoPropagation,

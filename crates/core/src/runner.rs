@@ -123,11 +123,7 @@ impl ExperimentScale {
 }
 
 /// Builds a bulk-loaded store with the given tuner.
-pub fn prepared_store(
-    cfg: RusKeyConfig,
-    scale: &ExperimentScale,
-    tuner: Box<dyn Tuner>,
-) -> RusKey {
+pub fn prepared_store(cfg: RusKeyConfig, scale: &ExperimentScale, tuner: Box<dyn Tuner>) -> RusKey {
     let mut db = RusKey::with_tuner(cfg, scale.disk(), tuner);
     db.bulk_load(bulk_load_pairs(
         scale.load_entries,
@@ -168,7 +164,11 @@ pub fn run_dynamic(
     let mut out = Vec::with_capacity(workload.total_missions());
     while let Some((session, ops)) = workload.next_mission() {
         let report = db.run_mission(&ops);
-        out.push(MissionRecord::from_report(&report, session, db.tuner_converged()));
+        out.push(MissionRecord::from_report(
+            &report,
+            session,
+            db.tuner_converged(),
+        ));
     }
     out
 }
@@ -236,15 +236,35 @@ mod tests {
             ..ExperimentScale::tiny()
         };
         let read_spec = scale.spec().with_mix(OpMix::reads(0.95));
-        let r_aggr = run_static(quick_cfg(), &scale, Box::new(FixedPolicy::new(1)), read_spec.clone());
-        let r_lazy = run_static(quick_cfg(), &scale, Box::new(FixedPolicy::new(5)), read_spec);
+        let r_aggr = run_static(
+            quick_cfg(),
+            &scale,
+            Box::new(FixedPolicy::new(1)),
+            read_spec.clone(),
+        );
+        let r_lazy = run_static(
+            quick_cfg(),
+            &scale,
+            Box::new(FixedPolicy::new(5)),
+            read_spec,
+        );
         let a = converged_mean_latency(&r_aggr, 0.5);
         let l = converged_mean_latency(&r_lazy, 0.5);
         assert!(a < l, "aggressive {a} should beat lazy {l} on reads");
 
         let write_spec = scale.spec().with_mix(OpMix::reads(0.05));
-        let w_aggr = run_static(quick_cfg(), &scale, Box::new(FixedPolicy::new(1)), write_spec.clone());
-        let w_lazy = run_static(quick_cfg(), &scale, Box::new(FixedPolicy::new(5)), write_spec);
+        let w_aggr = run_static(
+            quick_cfg(),
+            &scale,
+            Box::new(FixedPolicy::new(1)),
+            write_spec.clone(),
+        );
+        let w_lazy = run_static(
+            quick_cfg(),
+            &scale,
+            Box::new(FixedPolicy::new(5)),
+            write_spec,
+        );
         let a = converged_mean_latency(&w_aggr, 0.5);
         let l = converged_mean_latency(&w_lazy, 0.5);
         assert!(l < a, "lazy {l} should beat aggressive {a} on writes");

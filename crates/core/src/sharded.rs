@@ -1,0 +1,532 @@
+//! The sharded engine core: hash-partitioned FLSM shards behind one store.
+//!
+//! [`ShardedRusKey`] scales the single-tree [`RusKey`](crate::db::RusKey)
+//! across cores: keys are hash-partitioned onto `N` independent
+//! [`FlsmTree`] shards (each with its own memtable and levels) that share
+//! one storage device, and missions execute in parallel with
+//! [`std::thread::scope`] — one worker per shard, operations routed by the
+//! stable key hash of [`ruskey_workload::routing`]. Cross-shard range
+//! scans are k-way merged back into one sorted result.
+//!
+//! Tuning stays *global*, exactly as in the paper: per-shard
+//! [`TreeStatsSnapshot`]s are merged into one store-wide view, a single
+//! [`Tuner`] (Lerp or a baseline) observes the aggregated
+//! [`MissionReport`]/[`TreeObservation`], and its policy changes fan out
+//! to every shard. A one-shard store is behaviourally identical to
+//! [`RusKey`](crate::db::RusKey) — all paper experiments remain valid.
+//!
+//! ## Accounting under parallelism
+//!
+//! The shards charge one shared [`VirtualClock`](ruskey_storage::VirtualClock),
+//! so a mission's end-to-end virtual time is exact (total device + CPU
+//! work). Per-level *time* attribution, however, windows the shared clock
+//! and therefore includes concurrent work from sibling shards when `N > 1`;
+//! per-level counters (probes, pages, keys) stay exact. Per-shard clocks
+//! are an open ROADMAP item.
+
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot};
+use ruskey_storage::Storage;
+use ruskey_workload::routing::{partition_ops, shard_for_key};
+use ruskey_workload::Operation;
+
+use crate::db::{execute_op, RusKeyConfig};
+use crate::lerp::Lerp;
+use crate::stats::{MissionReport, StatsCollector};
+use crate::tuner::{NoOpTuner, TreeObservation, Tuner};
+
+/// An RL-tuned key-value store over `N` hash-partitioned FLSM shards.
+pub struct ShardedRusKey {
+    shards: Vec<FlsmTree>,
+    tuner: Box<dyn Tuner>,
+    collector: StatsCollector,
+    last_report: Option<MissionReport>,
+    last_parallelism: usize,
+}
+
+impl ShardedRusKey {
+    /// Creates a sharded store driven by an arbitrary tuner, rejecting
+    /// invalid configurations instead of panicking.
+    ///
+    /// All shards share `storage` (its accounting is atomic and its
+    /// trait object `Send + Sync`, so this is safe under parallel
+    /// missions).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero — a shard count is a structural choice
+    /// made in code, not runtime input.
+    pub fn try_with_tuner(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+        tuner: Box<dyn Tuner>,
+    ) -> Result<Self, ConfigError> {
+        assert!(shards >= 1, "a store needs at least one shard");
+        let shards = (0..shards)
+            .map(|_| FlsmTree::try_new(cfg.lsm.clone(), Arc::clone(&storage)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            tuner,
+            collector: StatsCollector::new(),
+            last_report: None,
+            last_parallelism: 0,
+        })
+    }
+
+    /// Creates a sharded store tuned by Lerp, rejecting invalid
+    /// configurations instead of panicking.
+    pub fn try_with_lerp(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, ConfigError> {
+        let lerp = Lerp::new(cfg.lerp.clone());
+        Self::try_with_tuner(cfg, shards, storage, Box::new(lerp))
+    }
+
+    /// Creates a sharded store driven by an arbitrary tuner.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `shards` is zero.
+    pub fn with_tuner(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+        tuner: Box<dyn Tuner>,
+    ) -> Self {
+        Self::try_with_tuner(cfg, shards, storage, tuner)
+            .unwrap_or_else(|e| panic!("invalid RusKeyConfig: {e}"))
+    }
+
+    /// Creates a sharded store tuned by Lerp (the RusKey system of the
+    /// paper, scaled across shards).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `shards` is zero.
+    pub fn with_lerp(cfg: RusKeyConfig, shards: usize, storage: Arc<dyn Storage>) -> Self {
+        Self::try_with_lerp(cfg, shards, storage)
+            .unwrap_or_else(|e| panic!("invalid RusKeyConfig: {e}"))
+    }
+
+    /// Creates an untuned sharded store.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `shards` is zero.
+    pub fn untuned(cfg: RusKeyConfig, shards: usize, storage: Arc<dyn Storage>) -> Self {
+        Self::with_tuner(cfg, shards, storage, Box::new(NoOpTuner))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's tree (experiments and introspection).
+    pub fn shard(&self, idx: usize) -> &FlsmTree {
+        &self.shards[idx]
+    }
+
+    /// The tuner's display name.
+    pub fn tuner_name(&self) -> String {
+        self.tuner.name()
+    }
+
+    /// Whether the tuner reports convergence.
+    pub fn tuner_converged(&self) -> bool {
+        self.tuner.converged()
+    }
+
+    /// Cumulative model-update time (Fig. 13).
+    pub fn model_update_ns(&self) -> u64 {
+        self.tuner.model_update_ns()
+    }
+
+    /// The report of the last processed mission.
+    pub fn last_report(&self) -> Option<&MissionReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Distinct OS worker threads used by the last mission (1 when the
+    /// store has a single shard and executes inline).
+    pub fn last_parallelism(&self) -> usize {
+        self.last_parallelism
+    }
+
+    /// Store-wide statistics: every shard's snapshot merged
+    /// ([`TreeStatsSnapshot::merge`]).
+    pub fn stats(&self) -> TreeStatsSnapshot {
+        let snaps: Vec<TreeStatsSnapshot> = self.shards.iter().map(FlsmTree::stats).collect();
+        TreeStatsSnapshot::merge_all(&snaps)
+    }
+
+    // ------------------------------------------------------------------
+    // Plain KV interface (outside missions)
+    // ------------------------------------------------------------------
+
+    fn owner(&self, key: &[u8]) -> usize {
+        shard_for_key(key, self.shards.len())
+    }
+
+    /// Point lookup, routed to the owning shard.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        let s = self.owner(key);
+        self.shards[s].get(key)
+    }
+
+    /// Insert or overwrite, routed to the owning shard.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        let key = key.into();
+        let s = self.owner(&key);
+        self.shards[s].put(key, value);
+    }
+
+    /// Delete, routed to the owning shard.
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        let key = key.into();
+        let s = self.owner(&key);
+        self.shards[s].delete(key);
+    }
+
+    /// Range scan over `[start, end)` with a result limit: every shard
+    /// scans its partition, and the per-shard results (sorted, disjoint)
+    /// are k-way merged into one globally sorted result.
+    pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Bytes, Bytes)> {
+        let per_shard: Vec<Vec<(Bytes, Bytes)>> = self
+            .shards
+            .iter_mut()
+            .map(|t| t.scan(start, end, limit))
+            .collect();
+        merge_sorted_scans(per_shard, limit)
+    }
+
+    // ------------------------------------------------------------------
+    // Mission-driven operation
+    // ------------------------------------------------------------------
+
+    /// Bulk-loads the store (pairs hash-partitioned onto their owning
+    /// shards) and resets the statistics baseline so mission reports
+    /// exclude the load.
+    pub fn bulk_load(&mut self, pairs: Vec<(Bytes, Bytes)>) {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<(Bytes, Bytes)>> = vec![Vec::new(); n];
+        for (k, v) in pairs {
+            per_shard[shard_for_key(&k, n)].push((k, v));
+        }
+        for (tree, shard_pairs) in self.shards.iter_mut().zip(per_shard) {
+            if !shard_pairs.is_empty() {
+                tree.bulk_load(shard_pairs);
+            }
+        }
+        self.collector.baseline(self.stats());
+    }
+
+    /// Store-wide structure snapshot for tuners: per-level fill ratios
+    /// and run counts *average* over the shards that have materialized
+    /// the level — a lookup probes exactly one shard, so the mean run
+    /// count is what the RL state's normalized `runs / T` feature
+    /// expects (summing would scale it by `N` and push the tuner out of
+    /// distribution). For a one-shard store this equals
+    /// [`RusKey::observe`](crate::db::RusKey::observe).
+    pub fn observe(&self) -> TreeObservation {
+        let level_count = self
+            .shards
+            .iter()
+            .map(FlsmTree::level_count)
+            .max()
+            .unwrap_or(0);
+        let mut policies = Vec::with_capacity(level_count);
+        let mut fills = Vec::with_capacity(level_count);
+        let mut run_counts = Vec::with_capacity(level_count);
+        for i in 0..level_count {
+            let holders: Vec<&FlsmTree> =
+                self.shards.iter().filter(|t| t.level_count() > i).collect();
+            policies.push(holders[0].policy(i));
+            fills.push(holders.iter().map(|t| t.level_fill(i)).sum::<f64>() / holders.len() as f64);
+            let mean_runs = holders.iter().map(|t| t.level_run_count(i)).sum::<usize>() as f64
+                / holders.len() as f64;
+            run_counts.push(mean_runs.round() as usize);
+        }
+        TreeObservation {
+            policies,
+            fills,
+            run_counts,
+            size_ratio: self.shards[0].config().size_ratio,
+            level_count,
+        }
+    }
+
+    /// Store-wide per-level policies (each level reported by the first
+    /// shard that has materialized it).
+    pub fn policies(&self) -> Vec<u32> {
+        let level_count = self
+            .shards
+            .iter()
+            .map(FlsmTree::level_count)
+            .max()
+            .unwrap_or(0);
+        (0..level_count)
+            .map(|i| {
+                self.shards
+                    .iter()
+                    .find(|t| t.level_count() > i)
+                    .map(|t| t.policy(i))
+                    .unwrap_or(1)
+            })
+            .collect()
+    }
+
+    /// Processes one mission: routes the operations onto the shards,
+    /// executes them in parallel (one scoped OS thread per shard when
+    /// `N > 1`), builds the aggregated mission report, lets the global
+    /// tuner act, and fans its policy changes out to every shard.
+    pub fn run_mission(&mut self, ops: &[Operation]) -> MissionReport {
+        let t0 = Instant::now();
+        let n = self.shards.len();
+        if n == 1 {
+            for op in ops {
+                execute_op(&mut self.shards[0], op);
+            }
+            self.last_parallelism = 1;
+        } else {
+            let lanes = partition_ops(ops, n);
+            // Measured (not assumed from the spawn structure) so the
+            // equivalence suite can assert real OS-thread parallelism.
+            let worker_ids = Mutex::new(std::collections::HashSet::new());
+            std::thread::scope(|scope| {
+                for (tree, lane) in self.shards.iter_mut().zip(&lanes) {
+                    let worker_ids = &worker_ids;
+                    scope.spawn(move || {
+                        worker_ids
+                            .lock()
+                            .expect("worker id set poisoned")
+                            .insert(std::thread::current().id());
+                        for op in lane {
+                            execute_op(tree, op);
+                        }
+                    });
+                }
+            });
+            self.last_parallelism = worker_ids
+                .into_inner()
+                .expect("worker id set poisoned")
+                .len();
+        }
+        let process_ns = t0.elapsed().as_nanos() as u64;
+        let mut report = self.collector.report_mission(self.stats(), process_ns);
+        // A range scan broadcasts to every shard, so the merged snapshot
+        // counts it `N` times; report the *logical* composition (one scan
+        // per mission operation) so `gamma` is comparable across shard
+        // counts. The I/O and latency of the N sub-scans stay in the
+        // report — that work really happened.
+        if n > 1 && report.scans > 0 {
+            let logical_scans = report.scans / n as u64;
+            report.ops = report.ops - report.scans + logical_scans;
+            report.scans = logical_scans;
+        }
+
+        let obs = self.observe();
+        crate::db::tune_mission(self.tuner.as_mut(), &mut report, &obs, |level, k| {
+            for tree in &mut self.shards {
+                tree.set_policy(level, k);
+            }
+        });
+        report.policies_after = self.policies();
+        self.last_report = Some(report.clone());
+        report
+    }
+}
+
+/// One head of the k-way scan merge; ordered so the smallest key wins.
+struct MergeHead {
+    key: Bytes,
+    shard: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// K-way merges per-shard scan results (each sorted, keys disjoint across
+/// shards) into one sorted result of at most `limit` entries.
+fn merge_sorted_scans(per_shard: Vec<Vec<(Bytes, Bytes)>>, limit: usize) -> Vec<(Bytes, Bytes)> {
+    let mut iters: Vec<std::vec::IntoIter<(Bytes, Bytes)>> =
+        per_shard.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    let mut values: Vec<Option<Bytes>> = vec![None; iters.len()];
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some((k, v)) = it.next() {
+            heap.push(MergeHead { key: k, shard: i });
+            values[i] = Some(v);
+        }
+    }
+    let mut out = Vec::new();
+    while out.len() < limit {
+        let Some(MergeHead { key, shard }) = heap.pop() else {
+            break;
+        };
+        let value = values[shard].take().expect("merge head without value");
+        out.push((key, value));
+        if let Some((k, v)) = iters[shard].next() {
+            heap.push(MergeHead { key: k, shard });
+            values[shard] = Some(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::FixedPolicy;
+    use ruskey_storage::{CostModel, SimulatedDisk};
+    use ruskey_workload::{bulk_load_pairs, OpGenerator, OpMix, WorkloadSpec};
+
+    fn small_cfg() -> RusKeyConfig {
+        let mut cfg = RusKeyConfig::scaled_default();
+        cfg.lsm.buffer_bytes = 4096;
+        cfg.lsm.size_ratio = 4;
+        cfg
+    }
+
+    fn disk() -> Arc<SimulatedDisk> {
+        SimulatedDisk::new(512, CostModel::NVME)
+    }
+
+    #[test]
+    fn kv_roundtrip_across_shards() {
+        let mut db = ShardedRusKey::untuned(small_cfg(), 4, disk());
+        for i in 0..200u64 {
+            db.put(ruskey_workload::encode_key(i, 16), vec![i as u8; 8]);
+        }
+        for i in 0..200u64 {
+            let got = db.get(&ruskey_workload::encode_key(i, 16));
+            assert_eq!(got.as_deref(), Some(vec![i as u8; 8].as_slice()), "key {i}");
+        }
+        db.delete(ruskey_workload::encode_key(7, 16));
+        assert_eq!(db.get(&ruskey_workload::encode_key(7, 16)), None);
+    }
+
+    #[test]
+    fn cross_shard_scan_is_globally_sorted_and_limited() {
+        let mut db = ShardedRusKey::untuned(small_cfg(), 4, disk());
+        for i in 0..300u64 {
+            db.put(ruskey_workload::encode_key(i, 16), vec![1u8; 8]);
+        }
+        let all = db.scan(
+            &ruskey_workload::encode_key(50, 16),
+            &ruskey_workload::encode_key(150, 16),
+            1000,
+        );
+        assert_eq!(all.len(), 100);
+        for (w, pair) in all.windows(2).zip(all.iter().skip(1)) {
+            assert!(w[0].0 < pair.0, "scan out of order");
+        }
+        let limited = db.scan(
+            &ruskey_workload::encode_key(50, 16),
+            &ruskey_workload::encode_key(150, 16),
+            7,
+        );
+        assert_eq!(limited.len(), 7);
+        assert_eq!(limited[..], all[..7]);
+    }
+
+    #[test]
+    fn mission_reports_aggregate_all_shards() {
+        let mut db =
+            ShardedRusKey::with_tuner(small_cfg(), 4, disk(), Box::new(FixedPolicy::moderate()));
+        db.bulk_load(bulk_load_pairs(1000, 16, 48, 1));
+        let spec = WorkloadSpec {
+            key_space: 1000,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(1000)
+        }
+        .with_mix(OpMix::read_heavy());
+        let mut g = OpGenerator::new(spec, 2);
+        let r = db.run_mission(&g.take_ops(400));
+        assert_eq!(r.ops, 400, "aggregated op count covers every shard");
+        assert!((r.gamma() - 0.9).abs() < 0.08);
+        assert!(r.end_to_end_ns > 0);
+        assert!(!r.policies_after.is_empty());
+        assert_eq!(db.last_parallelism(), 4, "one worker thread per shard");
+    }
+
+    #[test]
+    fn policy_fanout_reaches_every_shard() {
+        let mut db =
+            ShardedRusKey::with_tuner(small_cfg(), 3, disk(), Box::new(FixedPolicy::new(4)));
+        db.bulk_load(bulk_load_pairs(900, 16, 48, 3));
+        let spec = WorkloadSpec {
+            key_space: 900,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(900)
+        };
+        let mut g = OpGenerator::new(spec, 5);
+        db.run_mission(&g.take_ops(300));
+        for s in 0..db.shard_count() {
+            let tree = db.shard(s);
+            for lvl in 0..tree.level_count() {
+                assert_eq!(
+                    tree.policy(lvl),
+                    4,
+                    "shard {s} level {lvl} missed the fan-out"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_with_tuner_rejects_bad_config() {
+        let mut cfg = small_cfg();
+        cfg.lsm.size_ratio = 1;
+        let err = ShardedRusKey::try_with_tuner(cfg, 2, disk(), Box::new(NoOpTuner));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardedRusKey::untuned(small_cfg(), 0, disk());
+    }
+
+    #[test]
+    fn merge_handles_empty_and_interleaved_inputs() {
+        let k = |i: u64| Bytes::copy_from_slice(&i.to_be_bytes());
+        let v = Bytes::from_static(b"v");
+        let merged = merge_sorted_scans(
+            vec![
+                vec![(k(1), v.clone()), (k(5), v.clone())],
+                vec![],
+                vec![(k(2), v.clone()), (k(3), v.clone()), (k(9), v.clone())],
+            ],
+            10,
+        );
+        let keys: Vec<u64> = merged
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_ref().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 9]);
+        assert!(merge_sorted_scans(vec![], 5).is_empty());
+    }
+}

@@ -76,8 +76,16 @@ mod tests {
             lookups: 50,
             updates: 50,
             levels: vec![
-                LevelMissionStats { pages_read: 100, pages_written: 50, ..Default::default() },
-                LevelMissionStats { pages_read: 300, pages_written: 10, ..Default::default() },
+                LevelMissionStats {
+                    pages_read: 100,
+                    pages_written: 50,
+                    ..Default::default()
+                },
+                LevelMissionStats {
+                    pages_read: 300,
+                    pages_written: 10,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         }
@@ -106,7 +114,10 @@ mod tests {
     fn full_state_concatenates() {
         let s = full_state(&report(), &obs(), 2);
         assert_eq!(s.len(), 2 * LEVEL_STATE_DIM);
-        assert_eq!(&s[..LEVEL_STATE_DIM], level_state(&report(), &obs(), 0).as_slice());
+        assert_eq!(
+            &s[..LEVEL_STATE_DIM],
+            level_state(&report(), &obs(), 0).as_slice()
+        );
     }
 
     #[test]

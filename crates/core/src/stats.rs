@@ -191,7 +191,10 @@ mod tests {
             lookups: 90,
             updates: 10,
             end_to_end_ns: 5000,
-            levels: vec![LevelMissionStats { latency_ns: 1000, ..Default::default() }],
+            levels: vec![LevelMissionStats {
+                latency_ns: 1000,
+                ..Default::default()
+            }],
             ..Default::default()
         };
         assert!((r.gamma() - 0.9).abs() < 1e-12);

@@ -137,7 +137,10 @@ impl GreedyHeuristic {
     /// (the paper labels settings like "Greedy, 33%, 67%").
     pub fn new(h_bottom_pct: f64, h_top_pct: f64) -> Self {
         assert!(h_bottom_pct <= h_top_pct);
-        Self { h_bottom: h_bottom_pct / 100.0, h_top: h_top_pct / 100.0 }
+        Self {
+            h_bottom: h_bottom_pct / 100.0,
+            h_top: h_top_pct / 100.0,
+        }
     }
 
     /// All threshold settings evaluated in Fig. 12.
@@ -240,11 +243,15 @@ impl Tuner for BruteForceLerp {
         }
         let action = self.agent.act_explore(&state);
         let mut out = Vec::new();
-        for (lvl, &a) in action.iter().enumerate().take(self.levels.min(obs.level_count)) {
+        for (lvl, &a) in action
+            .iter()
+            .enumerate()
+            .take(self.levels.min(obs.level_count))
+        {
             let delta = action_to_delta(a);
             if delta != 0 {
-                let k = (obs.policies[lvl] as i64 + delta as i64)
-                    .clamp(1, obs.size_ratio as i64) as u32;
+                let k = (obs.policies[lvl] as i64 + delta as i64).clamp(1, obs.size_ratio as i64)
+                    as u32;
                 if k != obs.policies[lvl] {
                     out.push((lvl, k));
                 }
@@ -328,8 +335,8 @@ impl Tuner for PerLevelNoPropagation {
             let delta = action_to_delta(action[0]);
             self.pending[lvl] = Some((state, action));
             if delta != 0 {
-                let k = (obs.policies[lvl] as i64 + delta as i64)
-                    .clamp(1, obs.size_ratio as i64) as u32;
+                let k = (obs.policies[lvl] as i64 + delta as i64).clamp(1, obs.size_ratio as i64)
+                    as u32;
                 if k != obs.policies[lvl] {
                     out.push((lvl, k));
                 }
@@ -373,7 +380,10 @@ pub struct RewardScale {
 
 impl Default for RewardScale {
     fn default() -> Self {
-        Self { ema: 0.0, alpha: 0.05 }
+        Self {
+            ema: 0.0,
+            alpha: 0.05,
+        }
     }
 }
 
@@ -444,9 +454,21 @@ mod tests {
         // Level 0: all probes (read-heavy) -> K down; level 1: all
         // compaction keys (write-heavy) -> K up; level 2: balanced -> hold.
         r.levels = vec![
-            LevelMissionStats { probes: 100, compact_keys: 0, ..Default::default() },
-            LevelMissionStats { probes: 0, compact_keys: 100, ..Default::default() },
-            LevelMissionStats { probes: 50, compact_keys: 50, ..Default::default() },
+            LevelMissionStats {
+                probes: 100,
+                compact_keys: 0,
+                ..Default::default()
+            },
+            LevelMissionStats {
+                probes: 0,
+                compact_keys: 100,
+                ..Default::default()
+            },
+            LevelMissionStats {
+                probes: 50,
+                compact_keys: 50,
+                ..Default::default()
+            },
         ];
         let changes = t.tune(&r, &obs(vec![5, 5, 5]));
         assert_eq!(changes, vec![(0, 4), (1, 6)]);
@@ -457,11 +479,20 @@ mod tests {
         let mut t = GreedyHeuristic::new(33.0, 67.0);
         let mut r = report(0.5);
         r.levels = vec![
-            LevelMissionStats { probes: 100, ..Default::default() },
-            LevelMissionStats { compact_keys: 100, ..Default::default() },
+            LevelMissionStats {
+                probes: 100,
+                ..Default::default()
+            },
+            LevelMissionStats {
+                compact_keys: 100,
+                ..Default::default()
+            },
         ];
         let changes = t.tune(&r, &obs(vec![1, 10]));
-        assert!(changes.is_empty(), "must not go below 1 or above T: {changes:?}");
+        assert!(
+            changes.is_empty(),
+            "must not go below 1 or above T: {changes:?}"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl Bloom {
     ///
     /// `bits_per_key == 0` produces a degenerate always-positive filter
     /// (Monkey assigns zero memory to the deepest levels when `f_i ≥ 1`).
-    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: f64) -> Self {
+    pub fn build<'a>(
+        keys: impl Iterator<Item = &'a [u8]>,
+        n_keys: usize,
+        bits_per_key: f64,
+    ) -> Self {
         if bits_per_key <= 0.0 || n_keys == 0 {
             return Self {
                 bits: Vec::new(),

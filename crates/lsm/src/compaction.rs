@@ -125,7 +125,11 @@ mod tests {
     use bytes::Bytes;
 
     fn e(k: &str, v: &str, seq: u64) -> KvEntry {
-        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+        KvEntry::put(
+            Bytes::copy_from_slice(k.as_bytes()),
+            Bytes::copy_from_slice(v.as_bytes()),
+            seq,
+        )
     }
 
     fn d(k: &str, seq: u64) -> KvEntry {
@@ -210,7 +214,11 @@ mod tests {
             let batch: Vec<KvEntry> = (0..20u64)
                 .map(|i| {
                     let k = i * 8 + s;
-                    KvEntry::put(Bytes::copy_from_slice(&k.to_be_bytes()), Bytes::new(), s + 1)
+                    KvEntry::put(
+                        Bytes::copy_from_slice(&k.to_be_bytes()),
+                        Bytes::new(),
+                        s + 1,
+                    )
                 })
                 .collect();
             batches.push(batch);

@@ -2,6 +2,63 @@
 
 use crate::transition::TransitionStrategy;
 
+/// A structural problem with an [`LsmConfig`], reported by
+/// [`LsmConfig::validate`] and [`crate::FlsmTree::try_new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `buffer_bytes` below the 1 KiB minimum.
+    BufferTooSmall {
+        /// The rejected value.
+        got: u64,
+    },
+    /// `size_ratio` (`T`) below 2.
+    SizeRatioTooSmall {
+        /// The rejected value.
+        got: u32,
+    },
+    /// `initial_policy` outside `[1, T]`.
+    InitialPolicyOutOfRange {
+        /// The rejected value.
+        got: u32,
+        /// The configured size ratio `T`.
+        size_ratio: u32,
+    },
+    /// Uniform Bloom bits-per-key outside `[0, 64]`.
+    BloomBitsOutOfRange {
+        /// The rejected value.
+        got: f64,
+    },
+    /// Monkey level-1 FPR outside `(0, 1]`.
+    BloomFprOutOfRange {
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BufferTooSmall { got } => {
+                write!(f, "buffer_bytes must be at least 1 KiB, got {got}")
+            }
+            ConfigError::SizeRatioTooSmall { got } => {
+                write!(f, "size_ratio (T) must be at least 2, got {got}")
+            }
+            ConfigError::InitialPolicyOutOfRange { got, size_ratio } => {
+                write!(f, "initial_policy must be in [1, {size_ratio}], got {got}")
+            }
+            ConfigError::BloomBitsOutOfRange { got } => {
+                write!(f, "bits_per_key must be in [0, 64], got {got}")
+            }
+            ConfigError::BloomFprOutOfRange { got } => {
+                write!(f, "level1_fpr must be in (0, 1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Bloom-filter memory scheme across levels (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BloomScheme {
@@ -82,7 +139,8 @@ impl LsmConfig {
     /// Capacity in bytes of a (zero-based) level: `C_i = buffer · T^{i+1}`.
     pub fn level_capacity(&self, level: usize) -> u64 {
         let t = self.size_ratio as u64;
-        self.buffer_bytes.saturating_mul(t.saturating_pow(level as u32 + 1))
+        self.buffer_bytes
+            .saturating_mul(t.saturating_pow(level as u32 + 1))
     }
 
     /// Clamps a policy into the valid range `[1, T]`.
@@ -90,28 +148,32 @@ impl LsmConfig {
         k.clamp(1, self.size_ratio as i64) as u32
     }
 
-    /// Validates invariants; returns a description of the first violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.buffer_bytes < 1024 {
-            return Err("buffer_bytes must be at least 1 KiB".into());
+            return Err(ConfigError::BufferTooSmall {
+                got: self.buffer_bytes,
+            });
         }
         if self.size_ratio < 2 {
-            return Err("size_ratio (T) must be at least 2".into());
+            return Err(ConfigError::SizeRatioTooSmall {
+                got: self.size_ratio,
+            });
         }
         if self.initial_policy < 1 || self.initial_policy > self.size_ratio {
-            return Err(format!(
-                "initial_policy must be in [1, {}], got {}",
-                self.size_ratio, self.initial_policy
-            ));
+            return Err(ConfigError::InitialPolicyOutOfRange {
+                got: self.initial_policy,
+                size_ratio: self.size_ratio,
+            });
         }
         if let BloomScheme::Uniform { bits_per_key } = self.bloom {
             if !(0.0..=64.0).contains(&bits_per_key) {
-                return Err("bits_per_key must be in [0, 64]".into());
+                return Err(ConfigError::BloomBitsOutOfRange { got: bits_per_key });
             }
         }
         if let BloomScheme::Monkey { level1_fpr } = self.bloom {
             if !(0.0..=1.0).contains(&level1_fpr) || level1_fpr == 0.0 {
-                return Err("level1_fpr must be in (0, 1]".into());
+                return Err(ConfigError::BloomFprOutOfRange { got: level1_fpr });
             }
         }
         Ok(())
@@ -150,16 +212,40 @@ mod tests {
         let mut cfg = LsmConfig::scaled_default();
         assert!(cfg.validate().is_ok());
         cfg.size_ratio = 1;
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::SizeRatioTooSmall { got: 1 })
+        );
         cfg = LsmConfig::scaled_default();
         cfg.initial_policy = 11;
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::InitialPolicyOutOfRange {
+                got: 11,
+                size_ratio: 10
+            })
+        );
         cfg = LsmConfig::scaled_default();
         cfg.buffer_bytes = 10;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(ConfigError::BufferTooSmall { got: 10 }));
         cfg = LsmConfig::scaled_default();
         cfg.bloom = BloomScheme::Monkey { level1_fpr: 0.0 };
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::BloomFprOutOfRange { got: 0.0 })
+        );
+    }
+
+    #[test]
+    fn config_errors_render_readable_messages() {
+        let e = ConfigError::InitialPolicyOutOfRange {
+            got: 11,
+            size_ratio: 10,
+        };
+        assert_eq!(e.to_string(), "initial_policy must be in [1, 10], got 11");
+        assert!(ConfigError::BufferTooSmall { got: 10 }
+            .to_string()
+            .contains("1 KiB"));
     }
 
     #[test]

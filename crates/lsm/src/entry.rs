@@ -26,7 +26,11 @@ pub const PAGE_HEADER_BYTES: usize = 2;
 /// the current buffer content.
 pub fn append_entry(buf: &mut Vec<u8>, e: &KvEntry, page_size: usize) -> bool {
     let need = e.encoded_size();
-    let used = if buf.is_empty() { PAGE_HEADER_BYTES } else { buf.len() };
+    let used = if buf.is_empty() {
+        PAGE_HEADER_BYTES
+    } else {
+        buf.len()
+    };
     if used + need > page_size {
         return false;
     }
@@ -66,7 +70,12 @@ pub fn decode_page(page: Vec<u8>) -> Vec<KvEntry> {
         off += klen;
         let value = page.slice(off..off + vlen);
         off += vlen;
-        out.push(KvEntry { key, value, seq, kind });
+        out.push(KvEntry {
+            key,
+            value,
+            seq,
+            kind,
+        });
     }
     out
 }
@@ -109,13 +118,21 @@ mod tests {
     use super::*;
 
     fn entry(k: &str, v: &str, seq: u64) -> KvEntry {
-        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+        KvEntry::put(
+            Bytes::copy_from_slice(k.as_bytes()),
+            Bytes::copy_from_slice(v.as_bytes()),
+            seq,
+        )
     }
 
     #[test]
     fn roundtrip_single_page() {
         let mut buf = Vec::new();
-        let entries = vec![entry("a", "1", 1), entry("b", "22", 2), entry("c", "333", 3)];
+        let entries = vec![
+            entry("a", "1", 1),
+            entry("b", "22", 2),
+            entry("c", "333", 3),
+        ];
         for e in &entries {
             assert!(append_entry(&mut buf, e, 4096));
         }
@@ -146,7 +163,11 @@ mod tests {
     #[test]
     fn search_finds_and_misses() {
         let mut buf = Vec::new();
-        for e in [entry("apple", "1", 1), entry("mango", "2", 2), entry("zebra", "3", 3)] {
+        for e in [
+            entry("apple", "1", 1),
+            entry("mango", "2", 2),
+            entry("zebra", "3", 3),
+        ] {
             append_entry(&mut buf, &e, 4096);
         }
         assert_eq!(search_page(&buf, b"mango").unwrap().seq, 2);

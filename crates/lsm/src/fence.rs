@@ -15,7 +15,10 @@ pub struct FencePointers {
 impl FencePointers {
     /// Builds fence pointers from the first key of each page, in page order.
     pub fn new(first_keys: Vec<Key>) -> Self {
-        debug_assert!(first_keys.windows(2).all(|w| w[0] <= w[1]), "pages must be sorted");
+        debug_assert!(
+            first_keys.windows(2).all(|w| w[0] <= w[1]),
+            "pages must be sorted"
+        );
         Self { first_keys }
     }
 
@@ -57,7 +60,11 @@ mod tests {
     use bytes::Bytes;
 
     fn fences(keys: &[&str]) -> FencePointers {
-        FencePointers::new(keys.iter().map(|k| Bytes::copy_from_slice(k.as_bytes())).collect())
+        FencePointers::new(
+            keys.iter()
+                .map(|k| Bytes::copy_from_slice(k.as_bytes()))
+                .collect(),
+        )
     }
 
     #[test]

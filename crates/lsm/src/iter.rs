@@ -58,14 +58,19 @@ mod tests {
     #[test]
     fn scan_stops_at_end_and_limit() {
         let src: EntrySource = Box::new(
-            vec![e("a", "1", 1), e("b", "2", 2), e("c", "3", 3), e("d", "4", 4)].into_iter(),
+            vec![
+                e("a", "1", 1),
+                e("b", "2", 2),
+                e("c", "3", 3),
+                e("d", "4", 4),
+            ]
+            .into_iter(),
         );
         let got: Vec<_> = RangeScan::new(vec![src], Bytes::from_static(b"d"), 10).collect();
         assert_eq!(got.len(), 3);
 
-        let src: EntrySource = Box::new(
-            vec![e("a", "1", 1), e("b", "2", 2), e("c", "3", 3)].into_iter(),
-        );
+        let src: EntrySource =
+            Box::new(vec![e("a", "1", 1), e("b", "2", 2), e("c", "3", 3)].into_iter());
         let got: Vec<_> = RangeScan::new(vec![src], Bytes::from_static(b"zzz"), 2).collect();
         assert_eq!(got.len(), 2);
     }

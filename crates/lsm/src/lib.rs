@@ -41,7 +41,7 @@ pub mod tree;
 pub mod types;
 pub mod wal;
 
-pub use config::{BloomScheme, LsmConfig};
+pub use config::{BloomScheme, ConfigError, LsmConfig};
 pub use stats::{LevelStatsSnapshot, TreeStatsSnapshot};
 pub use transition::TransitionStrategy;
 pub use tree::FlsmTree;

@@ -33,7 +33,12 @@ impl Memtable {
     /// Inserts a put or tombstone, replacing any previous version of the key.
     pub fn insert(&mut self, entry: KvEntry) {
         let size = entry.encoded_size() as u64;
-        let KvEntry { key, value, seq, kind } = entry;
+        let KvEntry {
+            key,
+            value,
+            seq,
+            kind,
+        } = entry;
         if let Some(old) = self.map.insert(key.clone(), Slot { value, seq, kind }) {
             let old_size = (crate::entry::ENTRY_HEADER_BYTES + key.len() + old.value.len()) as u64;
             self.bytes = self.bytes - old_size + size;
@@ -101,7 +106,11 @@ mod tests {
     use bytes::Bytes;
 
     fn put(k: &str, v: &str, seq: u64) -> KvEntry {
-        KvEntry::put(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()), seq)
+        KvEntry::put(
+            Bytes::copy_from_slice(k.as_bytes()),
+            Bytes::copy_from_slice(v.as_bytes()),
+            seq,
+        )
     }
 
     #[test]
@@ -143,7 +152,10 @@ mod tests {
         }
         let drained = m.drain_sorted();
         let keys: Vec<&[u8]> = drained.iter().map(|e| e.key.as_ref()).collect();
-        assert_eq!(keys, vec![b"apple".as_ref(), b"mango".as_ref(), b"zebra".as_ref()]);
+        assert_eq!(
+            keys,
+            vec![b"apple".as_ref(), b"mango".as_ref(), b"zebra".as_ref()]
+        );
         assert!(m.is_empty());
         assert_eq!(m.bytes(), 0);
     }

@@ -42,7 +42,10 @@ pub fn monkey_total_bits(level1_fpr: f64, size_ratio: u32, entries_per_level: &[
 /// enabling apples-to-apples scheme comparisons (the paper lowers RocksDB's
 /// default 8 bits/key to 4 under Monkey for this reason).
 pub fn equivalent_level1_fpr(uniform_bits: f64, size_ratio: u32, entries_per_level: &[u64]) -> f64 {
-    let budget: f64 = entries_per_level.iter().map(|&n| n as f64 * uniform_bits).sum();
+    let budget: f64 = entries_per_level
+        .iter()
+        .map(|&n| n as f64 * uniform_bits)
+        .sum();
     if budget <= 0.0 {
         return 1.0;
     }

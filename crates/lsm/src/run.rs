@@ -112,19 +112,34 @@ impl Run {
     pub fn probe(&self, storage: &dyn Storage, key: &[u8]) -> ProbeResult {
         storage.charge_cpu(storage.cost_model().cpu_probe_ns);
         if key < self.min_key.as_ref() || key > self.max_key.as_ref() {
-            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+            return ProbeResult {
+                outcome: ProbeOutcome::FilteredOut,
+                pages_read: 0,
+            };
         }
         if !self.bloom.contains(key) {
-            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+            return ProbeResult {
+                outcome: ProbeOutcome::FilteredOut,
+                pages_read: 0,
+            };
         }
         let Some(page_idx) = self.fences.locate(key) else {
-            return ProbeResult { outcome: ProbeOutcome::FilteredOut, pages_read: 0 };
+            return ProbeResult {
+                outcome: ProbeOutcome::FilteredOut,
+                pages_read: 0,
+            };
         };
         let mut buf = Vec::with_capacity(storage.page_size());
         storage.read_page(self.extent, page_idx, &mut buf);
         match entry::search_page(&buf, key) {
-            Some(e) => ProbeResult { outcome: ProbeOutcome::Found(e), pages_read: 1 },
-            None => ProbeResult { outcome: ProbeOutcome::FalsePositive, pages_read: 1 },
+            Some(e) => ProbeResult {
+                outcome: ProbeOutcome::Found(e),
+                pages_read: 1,
+            },
+            None => ProbeResult {
+                outcome: ProbeOutcome::FalsePositive,
+                pages_read: 1,
+            },
         }
     }
 
@@ -170,7 +185,8 @@ impl RunIterator {
     fn refill(&mut self) -> bool {
         while self.next_page < self.extent.pages {
             let mut buf = Vec::with_capacity(self.storage.page_size());
-            self.storage.read_page(self.extent, self.next_page, &mut buf);
+            self.storage
+                .read_page(self.extent, self.next_page, &mut buf);
             self.next_page += 1;
             let entries = entry::decode_page(buf);
             if !entries.is_empty() {
@@ -393,7 +409,10 @@ mod tests {
         for i in 0..100 {
             let r = run.probe(disk.as_ref(), &key(i * 2 + 1));
             assert!(
-                matches!(r.outcome, ProbeOutcome::FilteredOut | ProbeOutcome::FalsePositive),
+                matches!(
+                    r.outcome,
+                    ProbeOutcome::FilteredOut | ProbeOutcome::FalsePositive
+                ),
                 "phantom key found"
             );
         }

@@ -84,6 +84,23 @@ impl LevelStatsSnapshot {
         self.lookup_ns + self.compact_ns
     }
 
+    /// Counter-wise `self + other`: the combined view of one level across
+    /// two shards of a sharded store.
+    pub fn merged(&self, other: &LevelStatsSnapshot) -> LevelStatsSnapshot {
+        LevelStatsSnapshot {
+            lookup_ns: self.lookup_ns + other.lookup_ns,
+            lookup_pages: self.lookup_pages + other.lookup_pages,
+            probes: self.probes + other.probes,
+            false_positives: self.false_positives + other.false_positives,
+            compact_ns: self.compact_ns + other.compact_ns,
+            compact_pages_read: self.compact_pages_read + other.compact_pages_read,
+            compact_pages_written: self.compact_pages_written + other.compact_pages_written,
+            compact_keys: self.compact_keys + other.compact_keys,
+            merges_down: self.merges_down + other.merges_down,
+            transitions: self.transitions + other.transitions,
+        }
+    }
+
     /// Counter-wise `self - earlier` (saturating).
     pub fn delta(&self, earlier: &LevelStatsSnapshot) -> LevelStatsSnapshot {
         LevelStatsSnapshot {
@@ -92,7 +109,9 @@ impl LevelStatsSnapshot {
             probes: self.probes.saturating_sub(earlier.probes),
             false_positives: self.false_positives.saturating_sub(earlier.false_positives),
             compact_ns: self.compact_ns.saturating_sub(earlier.compact_ns),
-            compact_pages_read: self.compact_pages_read.saturating_sub(earlier.compact_pages_read),
+            compact_pages_read: self
+                .compact_pages_read
+                .saturating_sub(earlier.compact_pages_read),
             compact_pages_written: self
                 .compact_pages_written
                 .saturating_sub(earlier.compact_pages_written),
@@ -147,6 +166,42 @@ impl TreeStatsSnapshot {
             levels,
         }
     }
+
+    /// Merges another shard's snapshot into a store-wide view.
+    ///
+    /// Operation and I/O counters add up shard-wise; per-level snapshots
+    /// add element-wise (the deeper shard's extra levels are taken as-is).
+    /// `clock_ns` takes the **maximum**, not the sum: the shards of a
+    /// sharded store charge the *same* shared device clock, so every
+    /// shard's snapshot already carries the store-wide timeline.
+    pub fn merge(&self, other: &TreeStatsSnapshot) -> TreeStatsSnapshot {
+        let n = self.levels.len().max(other.levels.len());
+        let zero = LevelStatsSnapshot::default();
+        let levels = (0..n)
+            .map(|i| {
+                self.levels
+                    .get(i)
+                    .unwrap_or(&zero)
+                    .merged(other.levels.get(i).unwrap_or(&zero))
+            })
+            .collect();
+        TreeStatsSnapshot {
+            lookups: self.lookups + other.lookups,
+            updates: self.updates + other.updates,
+            scans: self.scans + other.scans,
+            flushes: self.flushes + other.flushes,
+            clock_ns: self.clock_ns.max(other.clock_ns),
+            levels,
+        }
+    }
+
+    /// Merges the snapshots of all shards of a store ([`TreeStatsSnapshot::merge`]
+    /// folded over an iterator).
+    pub fn merge_all<'a>(snapshots: impl IntoIterator<Item = &'a TreeStatsSnapshot>) -> Self {
+        snapshots
+            .into_iter()
+            .fold(TreeStatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
 }
 
 #[cfg(test)]
@@ -182,17 +237,104 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_counters_and_keeps_shared_clock() {
+        let a = TreeStatsSnapshot {
+            lookups: 5,
+            updates: 2,
+            clock_ns: 900,
+            levels: vec![LevelStatsSnapshot {
+                probes: 3,
+                lookup_ns: 10,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let b = TreeStatsSnapshot {
+            lookups: 1,
+            updates: 4,
+            clock_ns: 1000,
+            levels: vec![
+                LevelStatsSnapshot {
+                    probes: 2,
+                    lookup_ns: 5,
+                    ..Default::default()
+                },
+                LevelStatsSnapshot {
+                    compact_keys: 7,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.lookups, 6);
+        assert_eq!(m.updates, 6);
+        // Shared device timeline: max, not sum.
+        assert_eq!(m.clock_ns, 1000);
+        assert_eq!(m.levels.len(), 2);
+        assert_eq!(m.levels[0].probes, 5);
+        assert_eq!(m.levels[0].lookup_ns, 15);
+        assert_eq!(m.levels[1].compact_keys, 7);
+        // merge_all folds over shards; empty input is the identity.
+        let all = TreeStatsSnapshot::merge_all([&a, &b]);
+        assert_eq!(all, m);
+        assert_eq!(
+            TreeStatsSnapshot::merge_all([]),
+            TreeStatsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn merge_then_delta_supports_sharded_missions() {
+        // The sharded store baselines on a merged snapshot and reports the
+        // delta of a later merged snapshot; counters must line up.
+        let before_a = TreeStatsSnapshot {
+            lookups: 10,
+            clock_ns: 100,
+            ..Default::default()
+        };
+        let before_b = TreeStatsSnapshot {
+            lookups: 20,
+            clock_ns: 100,
+            ..Default::default()
+        };
+        let after_a = TreeStatsSnapshot {
+            lookups: 14,
+            clock_ns: 250,
+            ..Default::default()
+        };
+        let after_b = TreeStatsSnapshot {
+            lookups: 27,
+            clock_ns: 250,
+            ..Default::default()
+        };
+        let d = TreeStatsSnapshot::merge_all([&after_a, &after_b])
+            .delta(&TreeStatsSnapshot::merge_all([&before_a, &before_b]));
+        assert_eq!(d.lookups, 11);
+        assert_eq!(d.clock_ns, 150);
+    }
+
+    #[test]
     fn tree_delta_handles_new_levels() {
         let earlier = TreeStatsSnapshot {
             lookups: 5,
-            levels: vec![LevelStatsSnapshot { probes: 3, ..Default::default() }],
+            levels: vec![LevelStatsSnapshot {
+                probes: 3,
+                ..Default::default()
+            }],
             ..Default::default()
         };
         let later = TreeStatsSnapshot {
             lookups: 9,
             levels: vec![
-                LevelStatsSnapshot { probes: 7, ..Default::default() },
-                LevelStatsSnapshot { probes: 2, ..Default::default() },
+                LevelStatsSnapshot {
+                    probes: 7,
+                    ..Default::default()
+                },
+                LevelStatsSnapshot {
+                    probes: 2,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

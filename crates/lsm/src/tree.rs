@@ -45,12 +45,20 @@ impl FlsmTree {
     /// Creates an empty tree over `storage`.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid ([`LsmConfig::validate`]).
+    /// Panics if the configuration is invalid ([`LsmConfig::validate`]);
+    /// use [`FlsmTree::try_new`] for fallible construction.
     pub fn new(cfg: LsmConfig, storage: Arc<dyn Storage>) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid LsmConfig: {e}");
-        }
-        Self {
+        Self::try_new(cfg, storage).unwrap_or_else(|e| panic!("invalid LsmConfig: {e}"))
+    }
+
+    /// Creates an empty tree over `storage`, rejecting invalid
+    /// configurations instead of panicking.
+    pub fn try_new(
+        cfg: LsmConfig,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             storage,
             cfg,
             memtable: Memtable::new(),
@@ -62,7 +70,7 @@ impl FlsmTree {
             updates: 0,
             scans: 0,
             flushes: 0,
-        }
+        })
     }
 
     /// The tree's configuration.
@@ -88,7 +96,8 @@ impl FlsmTree {
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
         self.seq += 1;
         self.updates += 1;
-        self.storage.charge_cpu(self.storage.cost_model().cpu_memtable_ns);
+        self.storage
+            .charge_cpu(self.storage.cost_model().cpu_memtable_ns);
         self.memtable.insert(KvEntry::put(key, value, self.seq));
         self.maybe_flush();
     }
@@ -97,7 +106,8 @@ impl FlsmTree {
     pub fn delete(&mut self, key: impl Into<Key>) {
         self.seq += 1;
         self.updates += 1;
-        self.storage.charge_cpu(self.storage.cost_model().cpu_memtable_ns);
+        self.storage
+            .charge_cpu(self.storage.cost_model().cpu_memtable_ns);
         self.memtable.insert(KvEntry::delete(key, self.seq));
         self.maybe_flush();
     }
@@ -182,8 +192,11 @@ impl FlsmTree {
     fn ensure_level(&mut self, idx: usize) {
         while self.levels.len() <= idx {
             let i = self.levels.len();
-            self.levels
-                .push(Level::new(i, self.cfg.level_capacity(i), self.cfg.initial_policy));
+            self.levels.push(Level::new(
+                i,
+                self.cfg.level_capacity(i),
+                self.cfg.initial_policy,
+            ));
             self.level_stats.push(LevelStats::default());
         }
     }
@@ -530,6 +543,25 @@ mod tests {
         Bytes::from(format!("value-{i:08}"))
     }
 
+    /// Shards execute missions on worker threads, so the tree (and
+    /// everything it owns) must stay `Send`. Compile-time assertion.
+    #[test]
+    fn tree_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FlsmTree>();
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let cfg = LsmConfig {
+            size_ratio: 1,
+            ..LsmConfig::scaled_default()
+        };
+        let err = FlsmTree::try_new(cfg, disk).expect_err("must reject T < 2");
+        assert!(err.to_string().contains("size_ratio"));
+    }
+
     fn small_tree() -> FlsmTree {
         let disk = SimulatedDisk::new(256, CostModel::FREE);
         let cfg = LsmConfig {
@@ -686,11 +718,16 @@ mod tests {
         }
         // Ensure level 0 holds data before the transition.
         assert!(t.level_bytes(0) > 0 || t.level_bytes(1) > 0);
-        let with_data = (0..t.level_count()).find(|&i| t.level_bytes(i) > 0).unwrap();
+        let with_data = (0..t.level_count())
+            .find(|&i| t.level_bytes(i) > 0)
+            .unwrap();
         let before = t.storage().metrics();
         t.set_policy(with_data, 4);
         let delta = t.storage().metrics().delta(&before);
-        assert!(delta.pages_read > 0, "greedy transition must rewrite the level");
+        assert!(
+            delta.pages_read > 0,
+            "greedy transition must rewrite the level"
+        );
         assert_eq!(t.level_bytes(with_data), 0, "greedy empties the level");
         for i in (0..2000u64).step_by(131) {
             assert_eq!(t.get(&key(i)), Some(val(i)));

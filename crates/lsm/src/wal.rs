@@ -82,9 +82,15 @@ impl Wal {
     /// Truncates the log (after a successful memtable flush).
     pub fn reset(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
-        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
         self.writer = BufWriter::new(
-            OpenOptions::new().append(true).open(&self.path).unwrap_or(file),
+            OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .unwrap_or(file),
         );
         self.records = 0;
         Ok(())
@@ -115,14 +121,21 @@ impl Wal {
                 break; // corrupt record: stop replay
             }
             let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
-            let Some(kind) = OpKind::from_byte(body[8]) else { break };
+            let Some(kind) = OpKind::from_byte(body[8]) else {
+                break;
+            };
             let klen = u16::from_le_bytes(body[9..11].try_into().unwrap()) as usize;
             if 11 + klen > body.len() {
                 break;
             }
             let key = Bytes::copy_from_slice(&body[11..11 + klen]);
             let value = Bytes::copy_from_slice(&body[11 + klen..]);
-            out.push(KvEntry { key, value, seq, kind });
+            out.push(KvEntry {
+                key,
+                value,
+                seq,
+                kind,
+            });
             off = end;
         }
         Ok(out)
@@ -152,7 +165,8 @@ mod tests {
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&e("a", "1", 1)).unwrap();
-            wal.append(&KvEntry::delete(Bytes::from_static(b"b"), 2)).unwrap();
+            wal.append(&KvEntry::delete(Bytes::from_static(b"b"), 2))
+                .unwrap();
             wal.append(&e("c", "3", 3)).unwrap();
             wal.sync().unwrap();
             assert_eq!(wal.appended(), 3);

@@ -41,7 +41,11 @@ impl Adam {
     /// Applies one Adam step using the gradients accumulated in `net`,
     /// scaled by `grad_scale` (e.g. `1 / batch_size`). Does not zero grads.
     pub fn step(&mut self, net: &mut Mlp, grad_scale: f32) {
-        assert_eq!(net.param_count(), self.m.len(), "optimizer/network mismatch");
+        assert_eq!(
+            net.param_count(),
+            self.m.len(),
+            "optimizer/network mismatch"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -68,7 +72,12 @@ mod tests {
     #[test]
     fn adam_fits_regression_faster_than_it_starts() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[1, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut adam = Adam::new(net.param_count(), 1e-2);
         let f = |x: f32| 0.5 * x * x - x + 2.0;
         let loss_of = |net: &mut Mlp| {

@@ -101,10 +101,19 @@ impl Ddpg {
         critic_dims.push(1);
 
         let actor = Mlp::new(&actor_dims, Activation::Relu, Activation::Tanh, &mut rng);
-        let critic = Mlp::new(&critic_dims, Activation::Relu, Activation::Identity, &mut rng);
+        let critic = Mlp::new(
+            &critic_dims,
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut target_actor = Mlp::new(&actor_dims, Activation::Relu, Activation::Tanh, &mut rng);
-        let mut target_critic =
-            Mlp::new(&critic_dims, Activation::Relu, Activation::Identity, &mut rng);
+        let mut target_critic = Mlp::new(
+            &critic_dims,
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         target_actor.copy_from(&actor);
         target_critic.copy_from(&critic);
 
@@ -237,11 +246,16 @@ impl Ddpg {
         actor_loss /= n;
 
         // ---- Target tracking.
-        self.target_actor.soft_update_from(&self.actor, self.cfg.tau);
-        self.target_critic.soft_update_from(&self.critic, self.cfg.tau);
+        self.target_actor
+            .soft_update_from(&self.actor, self.cfg.tau);
+        self.target_critic
+            .soft_update_from(&self.critic, self.cfg.tau);
 
         self.train_steps += 1;
-        Some(TrainMetrics { critic_loss, actor_loss })
+        Some(TrainMetrics {
+            critic_loss,
+            actor_loss,
+        })
     }
 }
 

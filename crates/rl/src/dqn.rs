@@ -91,7 +91,16 @@ impl Dqn {
         let adam = Adam::new(q.param_count(), cfg.lr);
         let replay = ReplayBuffer::new(cfg.replay_capacity);
         let epsilon = cfg.epsilon;
-        Self { cfg, q, target, adam, replay, rng, epsilon, train_steps: 0 }
+        Self {
+            cfg,
+            q,
+            target,
+            adam,
+            replay,
+            rng,
+            epsilon,
+            train_steps: 0,
+        }
     }
 
     /// The configuration.

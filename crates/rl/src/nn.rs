@@ -139,11 +139,20 @@ impl Mlp {
     /// `hidden_act`, the last layer uses `out_act`.
     ///
     /// `dims = [in, h1, ..., out]` needs at least two entries.
-    pub fn new(dims: &[usize], hidden_act: Activation, out_act: Activation, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(dims.len() >= 2, "need at least input and output dims");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act = if i == dims.len() - 2 { out_act } else { hidden_act };
+            let act = if i == dims.len() - 2 {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Dense::new(dims[i], dims[i + 1], act, rng));
         }
         Self { layers }
@@ -253,7 +262,12 @@ mod tests {
     #[test]
     fn gradient_check_tanh_network() {
         // Numerical vs analytic gradient on a small tanh net.
-        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng());
+        let mut net = Mlp::new(
+            &[3, 5, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        );
         let x = [0.3f32, -0.7, 0.9];
         // Loss = sum(y); dL/dy = 1.
         let _ = net.forward(&x);
@@ -299,7 +313,12 @@ mod tests {
 
     #[test]
     fn input_gradient_check() {
-        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, &mut rng());
+        let mut net = Mlp::new(
+            &[2, 4, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        );
         let x = [0.5f32, -0.25];
         let _ = net.forward(&x);
         net.zero_grad();
@@ -323,7 +342,12 @@ mod tests {
     #[test]
     fn sgd_fits_linear_function() {
         // y = 2x - 1 learned by plain gradient steps (no Adam here).
-        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let mut net = Mlp::new(
+            &[1, 8, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         let mut r = rng();
         let lr = 0.01f32;
         for _ in 0..3000 {
@@ -346,8 +370,18 @@ mod tests {
 
     #[test]
     fn copy_and_soft_update() {
-        let mut a = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng());
-        let mut b = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let mut a = Mlp::new(
+            &[2, 3, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
+        let mut b = Mlp::new(
+            &[2, 3, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         b.copy_from(&a);
         let x = [0.3, 0.4];
         assert_eq!(a.forward(&x), b.forward(&x));
@@ -364,7 +398,12 @@ mod tests {
 
     #[test]
     fn param_count_matches_architecture() {
-        let net = Mlp::new(&[4, 128, 128, 128, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let net = Mlp::new(
+            &[4, 128, 128, 128, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         let expect = (4 * 128 + 128) + (128 * 128 + 128) * 2 + (128 + 1);
         assert_eq!(net.param_count(), expect);
     }

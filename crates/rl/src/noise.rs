@@ -15,7 +15,12 @@ pub struct OuNoise {
 impl OuNoise {
     /// Creates an OU process over `dim` action dimensions.
     pub fn new(dim: usize, theta: f32, sigma: f32, mu: f32) -> Self {
-        Self { theta, sigma, mu, state: vec![mu; dim] }
+        Self {
+            theta,
+            sigma,
+            mu,
+            state: vec![mu; dim],
+        }
     }
 
     /// Standard DDPG settings: θ=0.15, σ=0.2, μ=0.
@@ -100,7 +105,11 @@ mod tests {
         for _ in 0..50 {
             noise.next(&mut rng);
         }
-        assert!((noise.state[0] - 2.0).abs() < 0.1, "state {}", noise.state[0]);
+        assert!(
+            (noise.state[0] - 2.0).abs() < 0.1,
+            "state {}",
+            noise.state[0]
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl ReplayBuffer {
     /// Creates a buffer holding up to `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { capacity, buf: Vec::with_capacity(capacity.min(4096)), next: 0 }
+        Self {
+            capacity,
+            buf: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -66,7 +70,9 @@ impl ReplayBuffer {
     /// Uniformly samples `k` transitions (with replacement).
     pub fn sample<'a>(&'a self, rng: &mut impl Rng, k: usize) -> Vec<&'a Transition> {
         assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
-        (0..k).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..k)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 
     /// Drops all stored transitions (used when the workload shifts and old

@@ -71,7 +71,10 @@ pub struct BlockCache<S: Storage> {
 impl<S: Storage> BlockCache<S> {
     /// Wraps `inner` with a cache holding up to `capacity_pages` pages.
     pub fn new(inner: Arc<S>, capacity_pages: usize) -> Arc<Self> {
-        assert!(capacity_pages > 0, "use the raw storage for a zero-size cache");
+        assert!(
+            capacity_pages > 0,
+            "use the raw storage for a zero-size cache"
+        );
         Arc::new(Self {
             inner,
             lru: Mutex::new(LruInner {

@@ -74,4 +74,22 @@ mod tests {
         assert_eq!(c.elapsed_since(2), 3);
         assert_eq!(c.elapsed_since(100), 0);
     }
+
+    /// Parallel shard workers all charge the same timeline; concurrent
+    /// advances must never lose ticks.
+    #[test]
+    fn concurrent_advances_are_lossless() {
+        let c = VirtualClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.advance(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now_ns(), 4 * 10_000 * 3);
+    }
 }

@@ -79,7 +79,12 @@ mod tests {
 
     #[test]
     fn profiles_are_ordered_sensibly() {
-        let profiles = [CostModel::NVME, CostModel::SATA_SSD, CostModel::CPU_BOUND, CostModel::FREE];
+        let profiles = [
+            CostModel::NVME,
+            CostModel::SATA_SSD,
+            CostModel::CPU_BOUND,
+            CostModel::FREE,
+        ];
         assert!(profiles[1].read_page_ns > profiles[0].read_page_ns);
         assert!(profiles[2].cpu_probe_ns > profiles[2].read_page_ns / 2);
         assert_eq!(profiles[3].read_page_ns, 0);

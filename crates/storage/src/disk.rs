@@ -128,7 +128,11 @@ impl Storage for SimulatedDisk {
             data.len(),
             self.page_size
         );
-        assert!(idx < ext.pages, "page index {idx} out of bounds ({})", ext.pages);
+        assert!(
+            idx < ext.pages,
+            "page index {idx} out of bounds ({})",
+            ext.pages
+        );
         {
             let mut extents = self.extents.write();
             let slots = extents
@@ -170,7 +174,8 @@ impl Storage for SimulatedDisk {
 
     fn free(&self, ext: Extent) {
         if self.extents.write().remove(&ext.id).is_some() {
-            self.live_pages.fetch_sub(ext.pages as u64, Ordering::Relaxed);
+            self.live_pages
+                .fetch_sub(ext.pages as u64, Ordering::Relaxed);
         }
     }
 
@@ -280,5 +285,47 @@ mod tests {
         let d = disk();
         d.charge_cpu(42);
         assert_eq!(d.clock().now_ns(), 42);
+    }
+
+    /// Shards of a sharded store hand `Arc<dyn Storage>` clones to worker
+    /// threads; the trait object must stay `Send + Sync`.
+    #[test]
+    fn storage_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arc<dyn Storage>>();
+        assert_send_sync::<SimulatedDisk>();
+    }
+
+    /// One device shared by parallel shard workers must account every page
+    /// exactly: counters are atomic, so no I/O may be lost or double-counted.
+    #[test]
+    fn concurrent_shards_account_exactly() {
+        const THREADS: u64 = 4;
+        const PAGES_PER_THREAD: u64 = 200;
+        let d: Arc<SimulatedDisk> = disk();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    let ext = d.allocate(PAGES_PER_THREAD as u32);
+                    let mut buf = Vec::new();
+                    for i in 0..PAGES_PER_THREAD as u32 {
+                        d.write_page(ext, i, &[7u8; 64]);
+                        d.read_page(ext, i, &mut buf);
+                    }
+                });
+            }
+        });
+        let m = d.metrics();
+        let total = THREADS * PAGES_PER_THREAD;
+        assert_eq!(m.pages_written, total);
+        assert_eq!(m.pages_read, total);
+        assert_eq!(m.bytes_written, total * 64);
+        assert_eq!(
+            d.clock().now_ns(),
+            total * (CostModel::NVME.write_page_ns + CostModel::NVME.read_page_ns)
+        );
+        assert_eq!(d.live_pages(), total);
+        assert_eq!(d.live_extents(), THREADS as usize);
     }
 }

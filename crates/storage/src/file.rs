@@ -34,7 +34,11 @@ pub struct FileDisk {
 
 impl FileDisk {
     /// Creates a file-backed disk rooted at `dir` (created if missing).
-    pub fn new(dir: impl Into<PathBuf>, page_size: usize, cost: CostModel) -> std::io::Result<Arc<Self>> {
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        page_size: usize,
+        cost: CostModel,
+    ) -> std::io::Result<Arc<Self>> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Arc::new(Self {
@@ -121,7 +125,8 @@ impl Storage for FileDisk {
     fn free(&self, ext: Extent) {
         let _g = self.io_lock.lock();
         if std::fs::remove_file(self.path(ext.id)).is_ok() {
-            self.live_pages.fetch_sub(ext.pages as u64, Ordering::Relaxed);
+            self.live_pages
+                .fetch_sub(ext.pages as u64, Ordering::Relaxed);
         }
     }
 
@@ -147,7 +152,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("ruskey-filedisk-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ruskey-filedisk-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -70,7 +70,12 @@ impl ZipfState {
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Self { theta, zetan, alpha, eta }
+        Self {
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
     }
 
     /// Draws a Zipf-distributed rank in `[0, n)` (Gray et al. / YCSB).
@@ -115,7 +120,12 @@ impl KeySampler {
         while gcd(scramble_mult, n) != 1 {
             scramble_mult += 1;
         }
-        Self { n, dist, zipf, scramble_mult }
+        Self {
+            n,
+            dist,
+            zipf,
+            scramble_mult,
+        }
     }
 
     /// The key-space size.
@@ -135,7 +145,10 @@ impl KeySampler {
                 let rank = self.zipf.as_ref().unwrap().sample(self.n, rng);
                 self.n - 1 - rank
             }
-            KeyDistribution::HotSpot { hot_fraction, hot_probability } => {
+            KeyDistribution::HotSpot {
+                hot_fraction,
+                hot_probability,
+            } => {
                 let hot_n = ((self.n as f64 * hot_fraction).ceil() as u64).clamp(1, self.n);
                 if rng.gen::<f64>() < *hot_probability {
                     rng.gen_range(0..hot_n)
@@ -169,7 +182,10 @@ mod tests {
         let s = KeySampler::new(100, KeyDistribution::Uniform);
         let h = histogram(&s, 100_000, 100);
         let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
-        assert!(*max < 2 * *min, "uniform histogram too skewed: {min}..{max}");
+        assert!(
+            *max < 2 * *min,
+            "uniform histogram too skewed: {min}..{max}"
+        );
     }
 
     #[test]
@@ -195,7 +211,10 @@ mod tests {
         while gcd(mult, n) != 1 {
             mult += 1;
         }
-        assert_eq!(by_count[1].0 as u64, mult, "rank 1 lands at the scramble multiplier");
+        assert_eq!(
+            by_count[1].0 as u64, mult,
+            "rank 1 lands at the scramble multiplier"
+        );
     }
 
     #[test]
@@ -211,7 +230,10 @@ mod tests {
     fn hotspot_concentrates() {
         let s = KeySampler::new(
             1000,
-            KeyDistribution::HotSpot { hot_fraction: 0.1, hot_probability: 0.9 },
+            KeyDistribution::HotSpot {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
         );
         let h = histogram(&s, 100_000, 1000);
         let hot: u64 = h[..100].iter().sum();
@@ -227,7 +249,10 @@ mod tests {
             KeyDistribution::Uniform,
             KeyDistribution::zipfian_default(),
             KeyDistribution::Latest { theta: 0.5 },
-            KeyDistribution::HotSpot { hot_fraction: 0.2, hot_probability: 0.8 },
+            KeyDistribution::HotSpot {
+                hot_fraction: 0.2,
+                hot_probability: 0.8,
+            },
         ] {
             let s = KeySampler::new(17, dist);
             for _ in 0..10_000 {

@@ -50,11 +50,31 @@ impl DynamicWorkload {
     /// write-inclined (70%), read-inclined (30%).
     pub fn paper_fig7(generator: OpGenerator, missions: usize, mission_size: usize) -> Self {
         let sessions = vec![
-            Session { mix: OpMix::read_heavy(), missions, label: "read-heavy" },
-            Session { mix: OpMix::balanced(), missions, label: "balanced" },
-            Session { mix: OpMix::write_heavy(), missions, label: "write-heavy" },
-            Session { mix: OpMix::write_inclined(), missions, label: "write-inclined" },
-            Session { mix: OpMix::read_inclined(), missions, label: "read-inclined" },
+            Session {
+                mix: OpMix::read_heavy(),
+                missions,
+                label: "read-heavy",
+            },
+            Session {
+                mix: OpMix::balanced(),
+                missions,
+                label: "balanced",
+            },
+            Session {
+                mix: OpMix::write_heavy(),
+                missions,
+                label: "write-heavy",
+            },
+            Session {
+                mix: OpMix::write_inclined(),
+                missions,
+                label: "write-inclined",
+            },
+            Session {
+                mix: OpMix::read_inclined(),
+                missions,
+                label: "read-inclined",
+            },
         ];
         Self::new(generator, sessions, mission_size)
     }
@@ -139,7 +159,11 @@ mod tests {
     fn exhausts_after_schedule() {
         let mut w = DynamicWorkload::new(
             gen(),
-            vec![Session { mix: OpMix::balanced(), missions: 2, label: "x" }],
+            vec![Session {
+                mix: OpMix::balanced(),
+                missions: 2,
+                label: "x",
+            }],
             10,
         );
         assert!(w.next_mission().is_some());

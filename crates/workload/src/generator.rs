@@ -101,7 +101,11 @@ impl OpGenerator {
     pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
         spec.mix.validate().expect("invalid op mix");
         let sampler = KeySampler::new(spec.key_space, spec.distribution.clone());
-        Self { spec, sampler, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            spec,
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The spec this generator draws from.
@@ -128,7 +132,9 @@ impl OpGenerator {
             } else {
                 self.sampler.sample(&mut self.rng)
             };
-            Operation::Get { key: encode_key(id, self.spec.key_len) }
+            Operation::Get {
+                key: encode_key(id, self.spec.key_len),
+            }
         } else if r < mix.lookup + mix.update {
             let id = self.sampler.sample(&mut self.rng);
             Operation::Put {
@@ -137,7 +143,9 @@ impl OpGenerator {
             }
         } else if r < mix.lookup + mix.update + mix.delete {
             let id = self.sampler.sample(&mut self.rng);
-            Operation::Delete { key: encode_key(id, self.spec.key_len) }
+            Operation::Delete {
+                key: encode_key(id, self.spec.key_len),
+            }
         } else {
             let start = self.sampler.sample(&mut self.rng);
             let end = start + self.spec.scan_span;

@@ -14,7 +14,9 @@
 //!   scaled down in the experiments here);
 //! * [`dynamic`] — multi-session dynamic workloads (Fig. 7: read-heavy →
 //!   balanced → write-heavy → write-inclined → read-inclined);
-//! * [`ycsb`] — presets for the paper's mixes and the YCSB A/B/C standards.
+//! * [`ycsb`] — presets for the paper's mixes and the YCSB A/B/C standards;
+//! * [`routing`] — stable hash routing of operations onto the shards of a
+//!   sharded store (point ops to one shard, scans broadcast).
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub mod dynamic;
 pub mod generator;
 pub mod mission;
 pub mod ops;
+pub mod routing;
 pub mod ycsb;
 
 pub use dist::KeyDistribution;
@@ -30,3 +33,4 @@ pub use dynamic::{DynamicWorkload, Session};
 pub use generator::{bulk_load_pairs, encode_key, OpGenerator, WorkloadSpec};
 pub use mission::MissionStream;
 pub use ops::{OpMix, Operation};
+pub use routing::{partition_ops, route_op, shard_for_key, Route};

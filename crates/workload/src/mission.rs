@@ -18,7 +18,11 @@ impl MissionStream {
     /// Creates a mission stream.
     pub fn new(generator: OpGenerator, mission_size: usize) -> Self {
         assert!(mission_size > 0);
-        Self { generator, mission_size, produced: 0 }
+        Self {
+            generator,
+            mission_size,
+            produced: 0,
+        }
     }
 
     /// The configured mission size.

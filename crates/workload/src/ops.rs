@@ -62,7 +62,12 @@ impl OpMix {
     /// A lookup/update-only mix with the given lookup fraction `γ`.
     pub fn reads(gamma: f64) -> Self {
         assert!((0.0..=1.0).contains(&gamma));
-        Self { lookup: gamma, update: 1.0 - gamma, delete: 0.0, scan: 0.0 }
+        Self {
+            lookup: gamma,
+            update: 1.0 - gamma,
+            delete: 0.0,
+            scan: 0.0,
+        }
     }
 
     /// Paper read-heavy: 90% lookups, 10% updates.
@@ -92,7 +97,12 @@ impl OpMix {
 
     /// YCSB (d)-style range workload: 50% range lookups, 50% updates.
     pub fn range_balanced() -> Self {
-        Self { lookup: 0.0, update: 0.5, delete: 0.0, scan: 0.5 }
+        Self {
+            lookup: 0.0,
+            update: 0.5,
+            delete: 0.0,
+            scan: 0.5,
+        }
     }
 
     /// The fraction of reads (`γ`), counting scans as reads.
@@ -146,9 +156,19 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_mixes() {
-        let bad = OpMix { lookup: 0.5, update: 0.6, delete: 0.0, scan: 0.0 };
+        let bad = OpMix {
+            lookup: 0.5,
+            update: 0.6,
+            delete: 0.0,
+            scan: 0.0,
+        };
         assert!(bad.validate().is_err());
-        let neg = OpMix { lookup: -0.1, update: 1.1, delete: 0.0, scan: 0.0 };
+        let neg = OpMix {
+            lookup: -0.1,
+            update: 1.1,
+            delete: 0.0,
+            scan: 0.0,
+        };
         assert!(neg.validate().is_err());
     }
 
@@ -156,8 +176,17 @@ mod tests {
     fn read_write_classification() {
         let k = Bytes::from_static(b"k");
         assert!(Operation::Get { key: k.clone() }.is_read());
-        assert!(Operation::Scan { start: k.clone(), end: k.clone(), limit: 1 }.is_read());
-        assert!(Operation::Put { key: k.clone(), value: k.clone() }.is_write());
+        assert!(Operation::Scan {
+            start: k.clone(),
+            end: k.clone(),
+            limit: 1
+        }
+        .is_read());
+        assert!(Operation::Put {
+            key: k.clone(),
+            value: k.clone()
+        }
+        .is_write());
         assert!(Operation::Delete { key: k }.is_write());
     }
 }

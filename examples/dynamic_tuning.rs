@@ -26,15 +26,30 @@ fn main() {
     db.bulk_load(bulk_load_pairs(n, 16, 112, 7));
 
     let sessions = vec![
-        Session { mix: OpMix::write_heavy(), missions: missions_per_session, label: "write-heavy" },
-        Session { mix: OpMix::balanced(), missions: missions_per_session, label: "balanced" },
-        Session { mix: OpMix::read_heavy(), missions: missions_per_session, label: "read-heavy" },
+        Session {
+            mix: OpMix::write_heavy(),
+            missions: missions_per_session,
+            label: "write-heavy",
+        },
+        Session {
+            mix: OpMix::balanced(),
+            missions: missions_per_session,
+            label: "balanced",
+        },
+        Session {
+            mix: OpMix::read_heavy(),
+            missions: missions_per_session,
+            label: "read-heavy",
+        },
     ];
     let generator = OpGenerator::new(WorkloadSpec::scaled_default(n), 11);
     let mut workload = DynamicWorkload::new(generator, sessions, mission_size);
 
     println!("Fig. 2 running example: workload shifts and RusKey's policy trace\n");
-    println!("{:>8} {:>14} {:>7} {:>16} {:>10}", "mission", "session", "K(L1)", "latency(ms/op)", "converged");
+    println!(
+        "{:>8} {:>14} {:>7} {:>16} {:>10}",
+        "mission", "session", "K(L1)", "latency(ms/op)", "converged"
+    );
     let mut m = 0usize;
     let mut last_session = usize::MAX;
     while let Some((session, ops)) = workload.next_mission() {
@@ -55,5 +70,7 @@ fn main() {
         m += 1;
     }
     println!("\nfinal policies: {:?}", db.tree().policies());
-    println!("(expect K(L1) high in the write-heavy session, mid when balanced, low when read-heavy)");
+    println!(
+        "(expect K(L1) high in the write-heavy session, mid when balanced, low when read-heavy)"
+    );
 }

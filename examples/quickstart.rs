@@ -21,7 +21,11 @@ fn main() {
     db.delete(&b"greeting"[..]);
     println!("after delete   = {:?}", db.get(b"greeting"));
     for (k, v) in db.scan(b"a", b"z", 10) {
-        println!("scan: {:?} -> {} bytes", String::from_utf8_lossy(&k), v.len());
+        println!(
+            "scan: {:?} -> {} bytes",
+            String::from_utf8_lossy(&k),
+            v.len()
+        );
     }
 
     // --- Mission-driven operation (the paper's workflow) ---------------

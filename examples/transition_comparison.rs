@@ -14,10 +14,23 @@ fn main() {
     // ---- Analytic Table 2 (paper case study) --------------------------
     let s = TransitionScenario::paper_case_study();
     println!("Table 2 case study (T=10, B=4096, E=1024, C=1 024 000, f=0.01, K=5->4, x=γ=1/2):");
-    println!("  greedy   additional cost: {:>8.2} I/Os", s.additional_cost_greedy());
-    println!("  lazy     additional cost: {:>8.2} I/Os", s.additional_cost_lazy());
-    println!("  flexible additional cost: {:>8.2} I/Os", s.additional_cost_flexible());
-    println!("  lazy delay: {:.2} s at {} updates/s\n", s.delay_secs(true), s.updates_per_sec);
+    println!(
+        "  greedy   additional cost: {:>8.2} I/Os",
+        s.additional_cost_greedy()
+    );
+    println!(
+        "  lazy     additional cost: {:>8.2} I/Os",
+        s.additional_cost_lazy()
+    );
+    println!(
+        "  flexible additional cost: {:>8.2} I/Os",
+        s.additional_cost_flexible()
+    );
+    println!(
+        "  lazy delay: {:.2} s at {} updates/s\n",
+        s.delay_secs(true),
+        s.updates_per_sec
+    );
 
     // ---- Live engine measurement --------------------------------------
     println!("Measured on the engine (K=1 -> K=4 on a loaded tree):");
@@ -34,11 +47,7 @@ fn main() {
             ..LsmConfig::scaled_default()
         };
         let mut tree = FlsmTree::new(cfg, disk);
-        tree.bulk_load(
-            bulk_load_pairs(30_000, 16, 112, 3)
-                .into_iter()
-                .collect(),
-        );
+        tree.bulk_load(bulk_load_pairs(30_000, 16, 112, 3).into_iter().collect());
         // Push some fresh writes so upper levels hold data.
         for i in 0..2_000u64 {
             tree.put(encode_key(i, 16), vec![7u8; 112]);
@@ -57,7 +66,11 @@ fn main() {
             strategy.name(),
             delta.pages_read,
             delta.pages_written,
-            if visible { "yes (immediate)" } else { "no (deferred)" }
+            if visible {
+                "yes (immediate)"
+            } else {
+                "no (deferred)"
+            }
         );
     }
     println!("\n(greedy pays a large immediate rewrite; lazy defers the policy; flexible is free AND immediate)");

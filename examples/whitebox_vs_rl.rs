@@ -54,7 +54,10 @@ fn learned_k(gamma: f64) -> (u32, Vec<u32>) {
 fn main() {
     let fpr = fpr_for_bits(8.0); // uniform scheme, 8 bits/key
     println!("White-box K* (Eq. 5, exact device constants) vs Lerp's learned K (rewards only)\n");
-    println!("{:>8} {:>14} {:>12}   {}", "γ", "white-box K*", "Lerp K(L1)", "Lerp all policies");
+    println!(
+        "{:>8} {:>14} {:>12}   Lerp all policies",
+        "γ", "white-box K*", "Lerp K(L1)"
+    );
     for gamma in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let wb = whitebox_k(gamma, fpr);
         let (k1, all) = learned_k(gamma);
@@ -62,5 +65,8 @@ fn main() {
     }
 
     println!("\nLemma 5.1 propagation from the paper's worked example (K1=9, K2=7, T=10):");
-    println!("  {:?}  (paper: [9, 7, 3, 1])", propagate_rounded(9, 7, 10, 4));
+    println!(
+        "  {:?}  (paper: [9, 7, 3, 1])",
+        propagate_rounded(9, 7, 10, 4)
+    );
 }

@@ -30,12 +30,13 @@ fn main() {
     );
     for (preset, rows) in ycsb_sweep(&scale, &presets) {
         println!("{preset}:");
-        let best = rows
-            .iter()
-            .map(|(_, v)| *v)
-            .fold(f64::INFINITY, f64::min);
+        let best = rows.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
         for (method, latency) in rows {
-            let marker = if (latency - best).abs() < 1e-12 { "  <-- best" } else { "" };
+            let marker = if (latency - best).abs() < 1e-12 {
+                "  <-- best"
+            } else {
+                ""
+            };
             println!("  {method:<18} {latency:>9.4} ms/op{marker}");
         }
         println!();

@@ -4,6 +4,21 @@
 //! `examples/` and the cross-crate integration tests under `tests/` can use
 //! one dependency. Library users should depend on the individual crates
 //! (most importantly [`ruskey`]) directly.
+//!
+//! # The sharded engine core
+//!
+//! The store's engine is sharded for multi-core scaling:
+//! [`ruskey::sharded::ShardedRusKey`] hash-partitions keys onto `N`
+//! independent FLSM-trees ([`lsm`]) that share one storage device
+//! ([`storage`], whose accounting is atomic and `Sync`). Missions execute
+//! in parallel — one scoped OS thread per shard, operations routed by the
+//! stable FNV-1a hash in [`workload::routing`]; cross-shard range scans
+//! are k-way merged. A single global tuner ([`ruskey::lerp`] or a
+//! baseline) observes the shard-merged statistics and fans its per-level
+//! policy changes out to every shard, so the paper's tuning loop is
+//! unchanged. [`ruskey::db::RusKey`] remains the single-tree `N = 1` case
+//! used by all paper experiments; `tests/sharded_equivalence.rs` asserts
+//! the two are observationally equivalent.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

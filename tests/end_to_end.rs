@@ -35,7 +35,12 @@ fn tree_matches_reference_model_under_policy_churn() {
             value_len: 24,
             ..WorkloadSpec::scaled_default(300)
         }
-        .with_mix(OpMix { lookup: 0.3, update: 0.5, delete: 0.1, scan: 0.1 });
+        .with_mix(OpMix {
+            lookup: 0.3,
+            update: 0.5,
+            delete: 0.1,
+            scan: 0.1,
+        });
         let mut gen = OpGenerator::new(spec, 99);
 
         for step in 0..4000 {

@@ -1,0 +1,204 @@
+//! Observational equivalence of the sharded engine core: an `N`-shard
+//! [`ShardedRusKey`] must behave exactly like the single-tree [`RusKey`]
+//! for the same operation sequence — identical get/scan results for any
+//! `N`, and identical mission-report counters at `N = 1` — plus routing
+//! determinism and real OS-thread parallelism.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ruskey_repro::ruskey::db::{RusKey, RusKeyConfig};
+use ruskey_repro::ruskey::sharded::ShardedRusKey;
+use ruskey_repro::ruskey::tuner::FixedPolicy;
+use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
+use ruskey_repro::workload::routing::shard_for_key;
+use ruskey_repro::workload::{
+    bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation, WorkloadSpec,
+};
+
+fn small_cfg() -> RusKeyConfig {
+    let mut cfg = RusKeyConfig::scaled_default();
+    cfg.lsm.buffer_bytes = 4096;
+    cfg.lsm.size_ratio = 4;
+    cfg
+}
+
+fn disk() -> Arc<dyn Storage> {
+    SimulatedDisk::new(512, CostModel::NVME)
+}
+
+fn mixed_spec(key_space: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        key_space,
+        key_len: 16,
+        value_len: 48,
+        ..WorkloadSpec::scaled_default(key_space)
+    }
+    .with_mix(OpMix {
+        lookup: 0.35,
+        update: 0.4,
+        delete: 0.1,
+        scan: 0.15,
+    })
+}
+
+/// Acceptance: for identical op sequences, `ShardedRusKey` with `N = 1`
+/// produces the same mission-report counters (ops, updates, gamma, and the
+/// full virtual-time accounting) as `RusKey`.
+#[test]
+fn single_shard_mission_counters_equal_ruskey() {
+    let mut single = RusKey::with_tuner(small_cfg(), disk(), Box::new(FixedPolicy::moderate()));
+    let mut sharded =
+        ShardedRusKey::with_tuner(small_cfg(), 1, disk(), Box::new(FixedPolicy::moderate()));
+
+    let pairs = bulk_load_pairs(2000, 16, 48, 7);
+    single.bulk_load(pairs.clone());
+    sharded.bulk_load(pairs);
+
+    let mut g1 = OpGenerator::new(mixed_spec(2000), 9);
+    let mut g2 = OpGenerator::new(mixed_spec(2000), 9);
+    for mission in 0..6 {
+        let ops1 = g1.take_ops(300);
+        let ops2 = g2.take_ops(300);
+        assert_eq!(ops1, ops2, "generators must agree");
+        let r1 = single.run_mission(&ops1);
+        let r2 = sharded.run_mission(&ops2);
+        assert_eq!(r1.ops, r2.ops, "mission {mission}");
+        assert_eq!(r1.lookups, r2.lookups, "mission {mission}");
+        assert_eq!(r1.updates, r2.updates, "mission {mission}");
+        assert_eq!(r1.scans, r2.scans, "mission {mission}");
+        assert_eq!(r1.gamma(), r2.gamma(), "mission {mission}");
+        assert_eq!(
+            r1.end_to_end_ns, r2.end_to_end_ns,
+            "mission {mission}: virtual time"
+        );
+        assert_eq!(r1.levels, r2.levels, "mission {mission}: per-level stats");
+        assert_eq!(r1.policies_after, r2.policies_after, "mission {mission}");
+    }
+}
+
+/// Acceptance: `N ∈ {2, 4}` produces identical get/scan results to the
+/// single-tree store — property-style over several seeds, with a
+/// `BTreeMap` reference model double-checking both engines.
+#[test]
+fn n_shard_store_is_observationally_equivalent() {
+    for &shards in &[2usize, 4] {
+        for seed in [11u64, 23, 37] {
+            let mut reference = RusKey::untuned(small_cfg(), disk());
+            let mut sharded = ShardedRusKey::untuned(small_cfg(), shards, disk());
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+            let mut gen = OpGenerator::new(mixed_spec(400), seed);
+            for step in 0..2500 {
+                match gen.next_op() {
+                    Operation::Get { key } => {
+                        let a = reference.get(&key);
+                        let b = sharded.get(&key);
+                        assert_eq!(
+                            a, b,
+                            "shards={shards} seed={seed} step={step}: get diverged"
+                        );
+                        assert_eq!(
+                            b.as_deref(),
+                            model.get(key.as_ref()).map(|v| v.as_slice()),
+                            "shards={shards} seed={seed} step={step}: model diverged"
+                        );
+                    }
+                    Operation::Put { key, value } => {
+                        model.insert(key.to_vec(), value.to_vec());
+                        reference.put(key.clone(), value.clone());
+                        sharded.put(key, value);
+                    }
+                    Operation::Delete { key } => {
+                        model.remove(key.as_ref());
+                        reference.delete(key.clone());
+                        sharded.delete(key);
+                    }
+                    Operation::Scan { start, end, limit } => {
+                        let a = reference.scan(&start, &end, limit);
+                        let b = sharded.scan(&start, &end, limit);
+                        assert_eq!(
+                            a, b,
+                            "shards={shards} seed={seed} step={step}: scan diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mission execution agrees across shard counts on the logical operation
+/// composition (scans broadcast internally but count once).
+#[test]
+fn mission_composition_is_shard_count_invariant() {
+    let mut reports = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let mut db = ShardedRusKey::untuned(small_cfg(), shards, disk());
+        db.bulk_load(bulk_load_pairs(1500, 16, 48, 5));
+        let mut g = OpGenerator::new(mixed_spec(1500), 13);
+        let r = db.run_mission(&g.take_ops(500));
+        reports.push((shards, r));
+    }
+    let (_, base) = &reports[0];
+    for (shards, r) in &reports[1..] {
+        assert_eq!(r.ops, base.ops, "{shards} shards: ops");
+        assert_eq!(r.lookups, base.lookups, "{shards} shards: lookups");
+        assert_eq!(r.updates, base.updates, "{shards} shards: updates");
+        assert_eq!(r.scans, base.scans, "{shards} shards: scans");
+        assert_eq!(r.gamma(), base.gamma(), "{shards} shards: gamma");
+    }
+}
+
+/// Shard routing must be a pure, stable function of the key bytes: an
+/// independent FNV-1a implementation pins the mapping, and repeated calls
+/// agree (determinism across runs).
+#[test]
+fn shard_routing_is_deterministic() {
+    fn fnv1a(key: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    for shards in [1usize, 2, 3, 4, 8, 16] {
+        for _ in 0..500 {
+            let key = encode_key(rng.gen_range(0u64..1_000_000), 16);
+            let expected = (fnv1a(&key) % shards as u64) as usize;
+            assert_eq!(shard_for_key(&key, shards), expected);
+            assert_eq!(
+                shard_for_key(&key, shards),
+                expected,
+                "second call must agree"
+            );
+        }
+    }
+}
+
+/// Acceptance: parallel mission execution across shards uses ≥ 2 OS
+/// threads (one scoped worker per shard).
+#[test]
+fn parallel_missions_run_on_multiple_os_threads() {
+    let mut db = ShardedRusKey::untuned(small_cfg(), 4, disk());
+    db.bulk_load(bulk_load_pairs(2000, 16, 48, 3));
+    let mut g = OpGenerator::new(mixed_spec(2000), 21);
+    for _ in 0..3 {
+        db.run_mission(&g.take_ops(400));
+        assert_eq!(
+            db.last_parallelism(),
+            4,
+            "each of the 4 shards must execute on its own OS thread"
+        );
+    }
+    // The data survives the parallel missions intact.
+    let count = db
+        .scan(&encode_key(0, 16), &encode_key(2000, 16), usize::MAX)
+        .len();
+    assert!(count > 0, "scan after parallel missions is empty");
+}

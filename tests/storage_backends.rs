@@ -25,7 +25,12 @@ fn spec() -> WorkloadSpec {
         value_len: 32,
         ..WorkloadSpec::scaled_default(400)
     }
-    .with_mix(OpMix { lookup: 0.3, update: 0.55, delete: 0.05, scan: 0.1 })
+    .with_mix(OpMix {
+        lookup: 0.3,
+        update: 0.55,
+        delete: 0.05,
+        scan: 0.1,
+    })
 }
 
 /// Drives the same op stream against a tree and returns all lookup/scan
@@ -101,7 +106,10 @@ fn wal_recovery_restores_unflushed_writes() {
     {
         let disk = SimulatedDisk::new(512, CostModel::FREE);
         let mut tree = FlsmTree::new(
-            LsmConfig { buffer_bytes: 1 << 20, ..cfg() },
+            LsmConfig {
+                buffer_bytes: 1 << 20,
+                ..cfg()
+            },
             disk,
         );
         let mut wal = Wal::open(&path).unwrap();
@@ -175,5 +183,8 @@ fn cost_models_scale_latency_not_results() {
     let (out_nvme, t_nvme) = run(CostModel::NVME);
     let (out_sata, t_sata) = run(CostModel::SATA_SSD);
     assert_eq!(out_nvme, out_sata, "device speed must not change semantics");
-    assert!(t_sata > t_nvme, "slower device must accumulate more virtual time");
+    assert!(
+        t_sata > t_nvme,
+        "slower device must accumulate more virtual time"
+    );
 }

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box`) backed by a
+//! simple wall-clock loop: a short warm-up, then timed iterations bounded
+//! by both `sample_size` and `measurement_time`, reporting mean ns/iter.
+//! No statistics, plots, or baselines — just honest timings.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; this
+/// shim always materializes one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    budget: Duration,
+    elapsed_ns: f64,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut done = 0u64;
+        let start = Instant::now();
+        while done < self.iters && start.elapsed() < self.budget {
+            black_box(routine());
+            done += 1;
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+        self.measured_iters = done.max(1);
+    }
+
+    /// Times `routine` over inputs freshly produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let mut done = 0u64;
+        let mut spent = Duration::ZERO;
+        while done < self.iters && spent < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            spent += t0.elapsed();
+            done += 1;
+        }
+        self.elapsed_ns = spent.as_nanos() as f64;
+        self.measured_iters = done.max(1);
+    }
+}
+
+/// Top-level benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // in that mode run each benchmark once, as real criterion does.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for compatibility).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let (iters, budget) = if self.test_mode {
+            (1, Duration::from_secs(3600))
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let mut b = Bencher {
+            iters,
+            budget,
+            elapsed_ns: 0.0,
+            measured_iters: 1,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            println!(
+                "{name}: {:.0} ns/iter ({} iters)",
+                b.elapsed_ns / b.measured_iters as f64,
+                b.measured_iters
+            );
+        }
+        self
+    }
+}
+
+/// Declares a named benchmark group with a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut calls = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .bench_function("counting", |b| b.iter(|| calls += 1));
+        assert!(calls >= 2, "warm-up + at least one timed iter, got {calls}");
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}
