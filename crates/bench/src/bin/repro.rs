@@ -292,13 +292,18 @@ fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Opt
     println!("== Shard scaling: throughput vs shard count (balanced workload) ==");
     let rows = shard_scaling(scale, &[1, 2, 4, 8]);
     println!(
-        "{:<8}{:>12}{:>14}{:>18}{:>14}",
-        "shards", "wall (s)", "kops/s", "virtual ns/op", "threads"
+        "{:<8}{:>12}{:>14}{:>20}{:>20}{:>10}",
+        "shards", "wall (s)", "kops/s", "v-wall ns/op (max)", "v-busy ns/op (sum)", "threads"
     );
     for r in &rows {
         println!(
-            "{:<8}{:>12.3}{:>14.1}{:>18.1}{:>14}",
-            r.shards, r.wall_s, r.kops_per_s, r.virtual_ns_per_op, r.parallelism
+            "{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>10}",
+            r.shards,
+            r.wall_s,
+            r.kops_per_s,
+            r.virtual_wall_ns_per_op,
+            r.virtual_busy_ns_per_op,
+            r.parallelism
         );
     }
     let path = json_path

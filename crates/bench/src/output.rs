@@ -73,7 +73,10 @@ pub fn ranking_table(t: &RankingTable, session_labels: &[&str]) -> String {
 
 /// Renders the shard-scaling experiment as a machine-readable JSON
 /// document (hand-rolled — the workspace carries no serde), the anchor of
-/// the repo's performance trajectory across PRs.
+/// the repo's performance trajectory across PRs. Each row reports both
+/// virtual-time compositions explicitly: `virtual_wall_ns_per_op` (max
+/// over shard time domains per mission) and `virtual_busy_ns_per_op`
+/// (sum over shard time domains — total device work).
 pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"shard_scaling\",\n");
@@ -82,13 +85,15 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"wall_s\": {:.6}, \
-             \"kops_per_s\": {:.3}, \"virtual_ns_per_op\": {:.1}, \"parallelism\": {}}}{}\n",
+             \"kops_per_s\": {:.3}, \"virtual_wall_ns_per_op\": {:.1}, \
+             \"virtual_busy_ns_per_op\": {:.1}, \"parallelism\": {}}}{}\n",
             r.shards,
             r.missions,
             r.ops_total,
             r.wall_s,
             r.kops_per_s,
-            r.virtual_ns_per_op,
+            r.virtual_wall_ns_per_op,
+            r.virtual_busy_ns_per_op,
             r.parallelism,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -184,7 +189,8 @@ mod tests {
                 ops_total: 1000,
                 wall_s: 0.5,
                 kops_per_s: 2.0,
-                virtual_ns_per_op: 12345.6,
+                virtual_wall_ns_per_op: 12345.6,
+                virtual_busy_ns_per_op: 12345.6,
                 parallelism: 1,
             },
             ShardScalingRow {
@@ -193,13 +199,17 @@ mod tests {
                 ops_total: 1000,
                 wall_s: 0.2,
                 kops_per_s: 5.0,
-                virtual_ns_per_op: 12345.6,
+                virtual_wall_ns_per_op: 4000.2,
+                virtual_busy_ns_per_op: 13000.8,
                 parallelism: 4,
             },
         ];
         let json = shard_scaling_json("small", &rows);
         assert!(json.contains("\"experiment\": \"shard_scaling\""));
         assert!(json.contains("\"shards\": 4"));
+        // Both time compositions are named explicitly in every row.
+        assert_eq!(json.matches("\"virtual_wall_ns_per_op\":").count(), 2);
+        assert_eq!(json.matches("\"virtual_busy_ns_per_op\":").count(), 2);
         // Exactly one comma between the two row objects, none trailing.
         assert_eq!(json.matches("}},").count(), 0);
         assert_eq!(json.matches("},\n").count(), 1);

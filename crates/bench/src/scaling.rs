@@ -5,6 +5,7 @@
 //! prints the table and writes it as JSON so successive PRs can compare
 //! wall-clock throughput of the parallel engine.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ruskey::db::RusKeyConfig;
@@ -25,9 +26,14 @@ pub struct ShardScalingRow {
     pub wall_s: f64,
     /// Wall-clock throughput in kops/s.
     pub kops_per_s: f64,
-    /// Mean virtual device time per operation (ns) — the simulator's
-    /// deterministic cost metric.
-    pub virtual_ns_per_op: f64,
+    /// Mean virtual **wall** time per operation (ns): per mission, the
+    /// max over the shard time domains' deltas — the simulator's
+    /// deterministic latency metric.
+    pub virtual_wall_ns_per_op: f64,
+    /// Mean virtual **device-busy** time per operation (ns): per mission,
+    /// the sum over the shard time domains' deltas — the total virtual
+    /// work placed on the shared device.
+    pub virtual_busy_ns_per_op: f64,
     /// Maximum distinct OS worker threads observed in one mission.
     pub parallelism: usize,
 }
@@ -39,7 +45,9 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
     shard_counts
         .iter()
         .map(|&n| {
-            let mut db = ShardedRusKey::untuned(RusKeyConfig::scaled_default(), n, scale.disk());
+            let disk = scale.disk();
+            let mut db =
+                ShardedRusKey::untuned(RusKeyConfig::scaled_default(), n, Arc::clone(&disk));
             db.bulk_load(bulk_load_pairs(
                 scale.load_entries,
                 scale.key_len,
@@ -53,13 +61,36 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 .collect();
 
             let mut ops_total = 0u64;
-            let mut virtual_ns = 0u64;
+            let mut wall_ns = 0u64;
+            let mut busy_ns = 0u64;
             let mut parallelism = 0usize;
             let t0 = Instant::now();
             for ops in &missions {
+                let device_ns_before = disk.clock().now_ns();
                 let report = db.run_mission(ops);
+                // Attribution invariants, checked on every mission so the
+                // CI smoke run fails loudly instead of skewing benchmark
+                // JSON. The shared device clock receives every charge any
+                // shard domain makes, so the mission's device-busy time
+                // (sum of the per-domain deltas) must equal the device
+                // clock's own delta exactly — a broken per-shard mirroring
+                // (double-charged or dropped work) breaks this equality.
+                let device_delta = disk.clock().now_ns() - device_ns_before;
+                assert_eq!(
+                    report.device_busy_ns, device_delta,
+                    "sum of shard-domain deltas diverged from the device \
+                     clock delta at {n} shards"
+                );
+                // And wall (max over domains) can never exceed busy (sum).
+                assert!(
+                    report.end_to_end_ns <= report.device_busy_ns,
+                    "wall {} ns exceeds device-busy {} ns at {n} shards",
+                    report.end_to_end_ns,
+                    report.device_busy_ns,
+                );
                 ops_total += report.ops;
-                virtual_ns += report.end_to_end_ns;
+                wall_ns += report.end_to_end_ns;
+                busy_ns += report.device_busy_ns;
                 parallelism = parallelism.max(db.last_parallelism());
             }
             let wall_s = t0.elapsed().as_secs_f64();
@@ -69,7 +100,8 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 ops_total,
                 wall_s,
                 kops_per_s: ops_total as f64 / wall_s.max(1e-9) / 1e3,
-                virtual_ns_per_op: virtual_ns as f64 / ops_total.max(1) as f64,
+                virtual_wall_ns_per_op: wall_ns as f64 / ops_total.max(1) as f64,
+                virtual_busy_ns_per_op: busy_ns as f64 / ops_total.max(1) as f64,
                 parallelism,
             }
         })
@@ -104,6 +136,14 @@ mod tests {
             .all(|r| r.ops_total == (scale.missions * scale.mission_size) as u64));
         assert!(rows
             .iter()
-            .all(|r| r.kops_per_s > 0.0 && r.virtual_ns_per_op > 0.0));
+            .all(|r| r.kops_per_s > 0.0 && r.virtual_wall_ns_per_op > 0.0));
+        // Wall never exceeds busy; they coincide at one shard.
+        for r in &rows {
+            assert!(r.virtual_wall_ns_per_op <= r.virtual_busy_ns_per_op + 1e-9);
+        }
+        assert!(
+            (rows[0].virtual_wall_ns_per_op - rows[0].virtual_busy_ns_per_op).abs() < 1e-9,
+            "one shard: wall and busy compositions must agree"
+        );
     }
 }

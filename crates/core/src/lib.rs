@@ -23,6 +23,15 @@
 //! 3. its per-level policy changes fan out to every shard, applied via the
 //!    configured flexible transition (§4).
 //!
+//! Accounting under parallelism is exact: every shard runs on its own
+//! **time domain** (a [`ruskey_storage::ShardStorage`] view with a private
+//! clock and metrics over the shared device), so per-level
+//! `lookup_ns`/`compact_ns` never absorb a concurrent sibling's charges.
+//! Domains compose at the store level as the mission's **wall time** (max
+//! over shards, [`stats::MissionReport::end_to_end_ns`]) and the
+//! **device-busy time** (sum over shards,
+//! [`stats::MissionReport::device_busy_ns`]).
+//!
 //! [`db::RusKey`] is the single-tree engine — the `N = 1` case the paper
 //! evaluates — and remains the harness used by all paper experiments. An
 //! `N`-shard store is observationally equivalent to it for the same

@@ -15,14 +15,28 @@
 //! to every shard. A one-shard store is behaviourally identical to
 //! [`RusKey`](crate::db::RusKey) — all paper experiments remain valid.
 //!
-//! ## Accounting under parallelism
+//! ## Time domains: exact accounting under parallelism
 //!
-//! The shards charge one shared [`VirtualClock`](ruskey_storage::VirtualClock),
-//! so a mission's end-to-end virtual time is exact (total device + CPU
-//! work). Per-level *time* attribution, however, windows the shared clock
-//! and therefore includes concurrent work from sibling shards when `N > 1`;
-//! per-level counters (probes, pages, keys) stay exact. Per-shard clocks
-//! are an open ROADMAP item.
+//! Each shard owns a private **time domain**: its tree runs on a
+//! [`ShardStorage`](ruskey_storage::ShardStorage) view whose
+//! [`VirtualClock`](ruskey_storage::VirtualClock) and metrics receive only
+//! that shard's charges, while the shared device underneath aggregates
+//! everything (device-busy time). Per-level `lookup_ns`/`compact_ns`
+//! windows therefore observe exactly one shard's work at any `N` —
+//! concurrent siblings can no longer pollute the attribution the RL
+//! reward depends on. At the store level the domains compose two ways:
+//!
+//! * **mission wall time** ([`MissionReport::end_to_end_ns`]) — the max
+//!   over the participating shards' per-domain deltas (the mission is as
+//!   slow as its busiest shard);
+//! * **device-busy time** ([`MissionReport::device_busy_ns`]) — the sum
+//!   over the domains (total virtual work placed on the shared device).
+//!
+//! The [`StatsCollector`] deltas every shard against its *own* baseline
+//! before composing, which is what makes both readings exact. Ad-hoc
+//! point/scan calls between missions fold into the next mission's delta
+//! (as they always have); broadcast scans among them are tracked so the
+//! report still counts every scan logically once.
 
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
@@ -30,7 +44,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot};
-use ruskey_storage::Storage;
+use ruskey_storage::{ShardStorage, Storage};
 use ruskey_workload::routing::{partition_ops, shard_for_key};
 use ruskey_workload::Operation;
 
@@ -46,15 +60,21 @@ pub struct ShardedRusKey {
     collector: StatsCollector,
     last_report: Option<MissionReport>,
     last_parallelism: usize,
+    /// Ad-hoc [`ShardedRusKey::scan`] calls since the last mission report
+    /// (or baseline). Each one broadcast to every shard, so the next
+    /// mission's physical scan delta includes them `N` times; tracking
+    /// them keeps the broadcast invariant exact.
+    adhoc_scans: u64,
 }
 
 impl ShardedRusKey {
     /// Creates a sharded store driven by an arbitrary tuner, rejecting
     /// invalid configurations instead of panicking.
     ///
-    /// All shards share `storage` (its accounting is atomic and its
-    /// trait object `Send + Sync`, so this is safe under parallel
-    /// missions).
+    /// All shards share `storage` for data and device-level accounting,
+    /// but each runs on its own [`ShardStorage`] view — a private time
+    /// domain — so per-shard time and I/O attribution stays exact under
+    /// parallel missions.
     ///
     /// # Panics
     /// Panics if `shards` is zero — a shard count is a structural choice
@@ -67,7 +87,10 @@ impl ShardedRusKey {
     ) -> Result<Self, ConfigError> {
         assert!(shards >= 1, "a store needs at least one shard");
         let shards = (0..shards)
-            .map(|_| FlsmTree::try_new(cfg.lsm.clone(), Arc::clone(&storage)))
+            .map(|_| {
+                let view: Arc<dyn Storage> = ShardStorage::new(Arc::clone(&storage));
+                FlsmTree::try_new(cfg.lsm.clone(), view)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             shards,
@@ -75,6 +98,7 @@ impl ShardedRusKey {
             collector: StatsCollector::new(),
             last_report: None,
             last_parallelism: 0,
+            adhoc_scans: 0,
         })
     }
 
@@ -158,10 +182,17 @@ impl ShardedRusKey {
     }
 
     /// Store-wide statistics: every shard's snapshot merged
-    /// ([`TreeStatsSnapshot::merge`]).
+    /// ([`TreeStatsSnapshot::merge`]) — `clock_ns` is the wall
+    /// composition (max over shard domains), `busy_ns` the device-busy
+    /// composition (sum over shard domains).
     pub fn stats(&self) -> TreeStatsSnapshot {
-        let snaps: Vec<TreeStatsSnapshot> = self.shards.iter().map(FlsmTree::stats).collect();
-        TreeStatsSnapshot::merge_all(&snaps)
+        TreeStatsSnapshot::merge_all(&self.shard_snapshots())
+    }
+
+    /// One statistics snapshot per shard, in shard order — each covering
+    /// exactly that shard's time domain.
+    pub fn shard_snapshots(&self) -> Vec<TreeStatsSnapshot> {
+        self.shards.iter().map(FlsmTree::stats).collect()
     }
 
     // ------------------------------------------------------------------
@@ -196,6 +227,7 @@ impl ShardedRusKey {
     /// scans its partition, and the per-shard results (sorted, disjoint)
     /// are k-way merged into one globally sorted result.
     pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Bytes, Bytes)> {
+        self.adhoc_scans += 1;
         let per_shard: Vec<Vec<(Bytes, Bytes)>> = self
             .shards
             .iter_mut()
@@ -222,7 +254,8 @@ impl ShardedRusKey {
                 tree.bulk_load(shard_pairs);
             }
         }
-        self.collector.baseline(self.stats());
+        self.collector.baseline_shards(self.shard_snapshots());
+        self.adhoc_scans = 0;
     }
 
     /// Store-wide structure snapshot for tuners: per-level fill ratios
@@ -287,6 +320,13 @@ impl ShardedRusKey {
     pub fn run_mission(&mut self, ops: &[Operation]) -> MissionReport {
         let t0 = Instant::now();
         let n = self.shards.len();
+        // Logical scan count, taken at routing time: a range scan
+        // broadcasts to every shard, so the shards' counters will see it
+        // `N` times while the mission contains it once.
+        let logical_scans = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Scan { .. }))
+            .count() as u64;
         if n == 1 {
             for op in ops {
                 execute_op(&mut self.shards[0], op);
@@ -317,14 +357,27 @@ impl ShardedRusKey {
                 .len();
         }
         let process_ns = t0.elapsed().as_nanos() as u64;
-        let mut report = self.collector.report_mission(self.stats(), process_ns);
-        // A range scan broadcasts to every shard, so the merged snapshot
-        // counts it `N` times; report the *logical* composition (one scan
-        // per mission operation) so `gamma` is comparable across shard
-        // counts. The I/O and latency of the N sub-scans stay in the
-        // report — that work really happened.
-        if n > 1 && report.scans > 0 {
-            let logical_scans = report.scans / n as u64;
+        let mut report = self
+            .collector
+            .report_mission_shards(self.shard_snapshots(), process_ns);
+        // Report the *logical* scan composition (one scan per mission
+        // operation, counted at routing time above, plus any ad-hoc
+        // `scan()` calls since the last report) so `gamma` is comparable
+        // across shard counts. The I/O and latency of the N sub-scans
+        // stay in the report — that work really happened. The broadcast
+        // invariant pins the physical count exactly; the old
+        // `report.scans / n` recovery drifted whenever the physical count
+        // was not a multiple of `n`.
+        let logical_scans = logical_scans + self.adhoc_scans;
+        self.adhoc_scans = 0;
+        debug_assert_eq!(
+            report.scans,
+            logical_scans * n as u64,
+            "scan broadcast invariant violated: {} physical scans across {n} shards \
+             for {logical_scans} logical scans",
+            report.scans,
+        );
+        if n > 1 {
             report.ops = report.ops - report.scans + logical_scans;
             report.scans = logical_scans;
         }
@@ -493,6 +546,47 @@ mod tests {
                     "shard {s} level {lvl} missed the fan-out"
                 );
             }
+        }
+    }
+
+    /// Ad-hoc scans between missions broadcast to every shard; the next
+    /// mission's report must still count each of them logically once and
+    /// keep the broadcast invariant (no debug panic, no drift).
+    #[test]
+    fn adhoc_scans_between_missions_stay_logically_counted() {
+        for shards in [1usize, 3] {
+            let mut db = ShardedRusKey::untuned(small_cfg(), shards, disk());
+            db.bulk_load(bulk_load_pairs(600, 16, 48, 9));
+            let spec = WorkloadSpec {
+                key_space: 600,
+                value_len: 48,
+                ..WorkloadSpec::scaled_default(600)
+            }
+            .with_mix(OpMix {
+                lookup: 0.5,
+                update: 0.35,
+                delete: 0.05,
+                scan: 0.1,
+            });
+            let mut g = OpGenerator::new(spec, 4);
+            db.run_mission(&g.take_ops(200));
+            // Two ad-hoc scans outside any mission.
+            let lo = ruskey_workload::encode_key(0, 16);
+            let hi = ruskey_workload::encode_key(600, 16);
+            db.scan(&lo, &hi, 10);
+            db.scan(&lo, &hi, 10);
+            let ops = g.take_ops(200);
+            let mission_scans = ops
+                .iter()
+                .filter(|o| matches!(o, ruskey_workload::Operation::Scan { .. }))
+                .count() as u64;
+            let r = db.run_mission(&ops);
+            assert_eq!(
+                r.scans,
+                mission_scans + 2,
+                "{shards} shards: ad-hoc scans count logically once each"
+            );
+            assert_eq!(r.ops, 200 + 2);
         }
     }
 

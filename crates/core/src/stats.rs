@@ -43,8 +43,14 @@ pub struct MissionReport {
     pub updates: u64,
     /// Range scans in the mission.
     pub scans: u64,
-    /// End-to-end latency `t'` of the mission (virtual ns).
+    /// End-to-end latency `t'` of the mission (virtual ns). Under
+    /// sharding this is the mission's **wall** time: the max over the
+    /// participating shards' time-domain deltas.
     pub end_to_end_ns: u64,
+    /// Total virtual work of the mission (ns): the **sum** over the
+    /// shards' time-domain deltas (device-busy composition). Equals
+    /// `end_to_end_ns` for a single-shard store.
+    pub device_busy_ns: u64,
     /// Per-level statistics (index 0 = the paper's Level 1).
     pub levels: Vec<LevelMissionStats>,
     /// Real wall-clock time spent processing the mission (ns) — used by the
@@ -65,12 +71,21 @@ impl MissionReport {
         (self.lookups + self.scans) as f64 / self.ops as f64
     }
 
-    /// Mean end-to-end latency per operation (virtual ns).
+    /// Mean end-to-end (wall) latency per operation (virtual ns).
     pub fn ns_per_op(&self) -> f64 {
         if self.ops == 0 {
             return 0.0;
         }
         self.end_to_end_ns as f64 / self.ops as f64
+    }
+
+    /// Mean device-busy time per operation (virtual ns): total virtual
+    /// work across all shard domains divided by the logical op count.
+    pub fn busy_ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.device_busy_ns as f64 / self.ops as f64
     }
 
     /// Mean level latency per operation for level `idx` (virtual ns).
@@ -83,15 +98,23 @@ impl MissionReport {
 }
 
 /// Builds [`MissionReport`]s from tree-statistics snapshots.
+///
+/// The collector keeps one baseline snapshot *per shard time domain*
+/// (a single `RusKey` is the one-domain case). Each mission, every
+/// shard's snapshot is deltaed against its own baseline and the deltas
+/// are merged — wall time as the max over domains, device-busy time as
+/// the sum — which is exact under parallel shard execution. Deltaing a
+/// pre-merged snapshot would not be: the delta of per-shard maxima is
+/// not the maximum of per-shard deltas.
 #[derive(Debug, Default)]
 pub struct StatsCollector {
     missions: u64,
-    last_snapshot: TreeStatsSnapshot,
+    last_snapshots: Vec<TreeStatsSnapshot>,
 }
 
 impl StatsCollector {
-    /// Creates a collector; call [`StatsCollector::baseline`] once before
-    /// the first mission.
+    /// Creates a collector; call [`StatsCollector::baseline`] (or
+    /// [`StatsCollector::baseline_shards`]) once before the first mission.
     pub fn new() -> Self {
         Self::default()
     }
@@ -101,20 +124,45 @@ impl StatsCollector {
         self.missions
     }
 
-    /// Records the pre-experiment statistics baseline (e.g. after bulk load)
-    /// so the first mission's delta excludes setup work.
+    /// Records the pre-experiment statistics baseline of a single-tree
+    /// store (e.g. after bulk load) so the first mission's delta excludes
+    /// setup work.
     pub fn baseline(&mut self, snapshot: TreeStatsSnapshot) {
-        self.last_snapshot = snapshot;
+        self.baseline_shards(vec![snapshot]);
     }
 
-    /// Builds the report for the mission that just finished, given the tree
-    /// snapshot at its end.
+    /// Records the per-shard baselines of a sharded store, one snapshot
+    /// per shard time domain, in shard order.
+    pub fn baseline_shards(&mut self, snapshots: Vec<TreeStatsSnapshot>) {
+        self.last_snapshots = snapshots;
+    }
+
+    /// Builds the report for the mission that just finished, given the
+    /// single tree's snapshot at its end.
     pub fn report_mission(
         &mut self,
         end_snapshot: TreeStatsSnapshot,
         real_process_ns: u64,
     ) -> MissionReport {
-        let d = end_snapshot.delta(&self.last_snapshot);
+        self.report_mission_shards(vec![end_snapshot], real_process_ns)
+    }
+
+    /// Builds the report for the mission that just finished from every
+    /// shard's end snapshot (in the same shard order as the baseline).
+    /// Each domain is deltaed against its own baseline; the deltas merge
+    /// into wall (max) and device-busy (sum) mission times.
+    pub fn report_mission_shards(
+        &mut self,
+        end_snapshots: Vec<TreeStatsSnapshot>,
+        real_process_ns: u64,
+    ) -> MissionReport {
+        let zero = TreeStatsSnapshot::default();
+        let deltas: Vec<TreeStatsSnapshot> = end_snapshots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.delta(self.last_snapshots.get(i).unwrap_or(&zero)))
+            .collect();
+        let d = TreeStatsSnapshot::merge_all(&deltas);
         let levels = d
             .levels
             .iter()
@@ -136,13 +184,14 @@ impl StatsCollector {
             updates: d.updates,
             scans: d.scans,
             end_to_end_ns: d.clock_ns,
+            device_busy_ns: d.busy_ns,
             levels,
             real_process_ns,
             model_update_ns: 0,
             policies_after: Vec::new(),
         };
         self.missions += 1;
-        self.last_snapshot = end_snapshot;
+        self.last_snapshots = end_snapshots;
         report
     }
 }
@@ -159,6 +208,7 @@ mod tests {
             scans: 0,
             flushes: 0,
             clock_ns: clock,
+            busy_ns: clock,
             levels: vec![LevelStatsSnapshot {
                 lookup_ns: lvl_ns,
                 ..Default::default()
@@ -175,6 +225,7 @@ mod tests {
         assert_eq!(r.lookups, 5);
         assert_eq!(r.updates, 15);
         assert_eq!(r.end_to_end_ns, 3000);
+        assert_eq!(r.device_busy_ns, 3000, "one domain: busy == wall");
         assert_eq!(r.levels[0].latency_ns, 300);
         assert_eq!(r.real_process_ns, 7);
         assert_eq!(r.mission_idx, 0);
@@ -182,6 +233,20 @@ mod tests {
         let r2 = c.report_mission(snap(16, 26, 4100, 410), 3);
         assert_eq!(r2.ops, 2);
         assert_eq!(r2.mission_idx, 1);
+    }
+
+    #[test]
+    fn sharded_reports_delta_each_domain_then_compose() {
+        let mut c = StatsCollector::new();
+        // Two shards whose domains sit at different absolute times.
+        c.baseline_shards(vec![snap(10, 0, 1000, 0), snap(0, 0, 200, 0)]);
+        // Shard 0 advances 500 ns, shard 1 advances 2000 ns.
+        let r = c.report_mission_shards(vec![snap(12, 0, 1500, 0), snap(3, 0, 2200, 0)], 1);
+        assert_eq!(r.ops, 5);
+        assert_eq!(r.lookups, 5);
+        assert_eq!(r.end_to_end_ns, 2000, "wall = max(500, 2000)");
+        assert_eq!(r.device_busy_ns, 2500, "busy = 500 + 2000");
+        assert!((r.busy_ns_per_op() - 500.0).abs() < 1e-12);
     }
 
     #[test]

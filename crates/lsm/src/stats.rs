@@ -123,6 +123,15 @@ impl LevelStatsSnapshot {
 }
 
 /// Tree-wide statistics snapshot.
+///
+/// A snapshot taken from one tree describes one *time domain*: `clock_ns`
+/// and `busy_ns` are both that domain's timeline. Merging shard snapshots
+/// ([`TreeStatsSnapshot::merge`]) composes domains two ways at once:
+/// `clock_ns` takes the **max** (wall composition — the longest domain
+/// timeline) and `busy_ns` takes the **sum** (device-busy composition —
+/// total virtual work performed). To window a parallel mission exactly,
+/// delta each shard's snapshot against its own baseline first and merge
+/// the deltas; max-of-deltas is not delta-of-maxes.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct TreeStatsSnapshot {
     /// Number of lookups served.
@@ -133,16 +142,27 @@ pub struct TreeStatsSnapshot {
     pub scans: u64,
     /// Memtable flushes performed.
     pub flushes: u64,
-    /// Total virtual time on the device clock (I/O + charged CPU), ns.
+    /// Virtual time in this snapshot's domain (I/O + charged CPU), ns.
+    /// Merged snapshots carry the max over the merged domains (wall).
     pub clock_ns: u64,
+    /// Total virtual work, ns. Equals `clock_ns` for a single tree; merged
+    /// snapshots carry the sum over the merged domains (device-busy).
+    pub busy_ns: u64,
     /// Per-level snapshots, index 0 = the paper's Level 1.
     pub levels: Vec<LevelStatsSnapshot>,
 }
 
 impl TreeStatsSnapshot {
-    /// End-to-end latency `t'` accumulated so far (virtual ns).
+    /// End-to-end latency `t'` accumulated so far (virtual ns, wall
+    /// composition for merged snapshots).
     pub fn end_to_end_ns(&self) -> u64 {
         self.clock_ns
+    }
+
+    /// Total virtual work performed (ns, device-busy composition for
+    /// merged snapshots).
+    pub fn device_busy_ns(&self) -> u64 {
+        self.busy_ns
     }
 
     /// Counter-wise delta versus an earlier snapshot. Levels missing from
@@ -163,6 +183,7 @@ impl TreeStatsSnapshot {
             scans: self.scans.saturating_sub(earlier.scans),
             flushes: self.flushes.saturating_sub(earlier.flushes),
             clock_ns: self.clock_ns.saturating_sub(earlier.clock_ns),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
             levels,
         }
     }
@@ -171,9 +192,10 @@ impl TreeStatsSnapshot {
     ///
     /// Operation and I/O counters add up shard-wise; per-level snapshots
     /// add element-wise (the deeper shard's extra levels are taken as-is).
-    /// `clock_ns` takes the **maximum**, not the sum: the shards of a
-    /// sharded store charge the *same* shared device clock, so every
-    /// shard's snapshot already carries the store-wide timeline.
+    /// Time composes per domain: `clock_ns` takes the **max** (mission
+    /// wall time is bounded by the busiest shard), `busy_ns` the **sum**
+    /// (every domain's work occupies the shared device). Both compositions
+    /// are commutative and associative, so any merge order agrees.
     pub fn merge(&self, other: &TreeStatsSnapshot) -> TreeStatsSnapshot {
         let n = self.levels.len().max(other.levels.len());
         let zero = LevelStatsSnapshot::default();
@@ -191,6 +213,7 @@ impl TreeStatsSnapshot {
             scans: self.scans + other.scans,
             flushes: self.flushes + other.flushes,
             clock_ns: self.clock_ns.max(other.clock_ns),
+            busy_ns: self.busy_ns + other.busy_ns,
             levels,
         }
     }
@@ -237,11 +260,12 @@ mod tests {
     }
 
     #[test]
-    fn merge_sums_counters_and_keeps_shared_clock() {
+    fn merge_composes_wall_as_max_and_busy_as_sum() {
         let a = TreeStatsSnapshot {
             lookups: 5,
             updates: 2,
             clock_ns: 900,
+            busy_ns: 900,
             levels: vec![LevelStatsSnapshot {
                 probes: 3,
                 lookup_ns: 10,
@@ -253,6 +277,7 @@ mod tests {
             lookups: 1,
             updates: 4,
             clock_ns: 1000,
+            busy_ns: 1000,
             levels: vec![
                 LevelStatsSnapshot {
                     probes: 2,
@@ -269,8 +294,11 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.lookups, 6);
         assert_eq!(m.updates, 6);
-        // Shared device timeline: max, not sum.
+        // Wall composition: max over domains. Busy composition: sum.
         assert_eq!(m.clock_ns, 1000);
+        assert_eq!(m.busy_ns, 1900);
+        assert_eq!(m.end_to_end_ns(), 1000);
+        assert_eq!(m.device_busy_ns(), 1900);
         assert_eq!(m.levels.len(), 2);
         assert_eq!(m.levels[0].probes, 5);
         assert_eq!(m.levels[0].lookup_ns, 15);
@@ -285,33 +313,38 @@ mod tests {
     }
 
     #[test]
-    fn merge_then_delta_supports_sharded_missions() {
-        // The sharded store baselines on a merged snapshot and reports the
-        // delta of a later merged snapshot; counters must line up.
+    fn per_domain_delta_then_merge_supports_sharded_missions() {
+        // The sharded store deltas each shard against its own baseline and
+        // merges the deltas: wall = max of per-domain deltas, busy = sum.
         let before_a = TreeStatsSnapshot {
             lookups: 10,
             clock_ns: 100,
+            busy_ns: 100,
             ..Default::default()
         };
         let before_b = TreeStatsSnapshot {
             lookups: 20,
-            clock_ns: 100,
+            clock_ns: 40,
+            busy_ns: 40,
             ..Default::default()
         };
         let after_a = TreeStatsSnapshot {
             lookups: 14,
             clock_ns: 250,
+            busy_ns: 250,
             ..Default::default()
         };
         let after_b = TreeStatsSnapshot {
             lookups: 27,
-            clock_ns: 250,
+            clock_ns: 90,
+            busy_ns: 90,
             ..Default::default()
         };
-        let d = TreeStatsSnapshot::merge_all([&after_a, &after_b])
-            .delta(&TreeStatsSnapshot::merge_all([&before_a, &before_b]));
+        let d =
+            TreeStatsSnapshot::merge_all([&after_a.delta(&before_a), &after_b.delta(&before_b)]);
         assert_eq!(d.lookups, 11);
-        assert_eq!(d.clock_ns, 150);
+        assert_eq!(d.clock_ns, 150, "wall = max(150, 50)");
+        assert_eq!(d.busy_ns, 200, "busy = 150 + 50");
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl FlsmTree {
             return (!e.is_tombstone()).then_some(e.value);
         }
         for idx in 0..self.levels.len() {
-            let t0 = self.storage.clock().now_ns();
+            let t0 = self.storage.clock().now();
             let mut found: Option<KvEntry> = None;
             for run in self.levels[idx].probe_order() {
                 let r = run.probe(self.storage.as_ref(), key);
@@ -208,7 +208,7 @@ impl FlsmTree {
             return;
         }
         self.ensure_level(idx);
-        let t0 = self.storage.clock().now_ns();
+        let t0 = self.storage.clock().now();
         let m0 = self.storage.metrics();
 
         // Tombstones may be dropped only when the merge output will be the
@@ -272,7 +272,7 @@ impl FlsmTree {
             self.levels[idx].adopt_pending_policy();
             return;
         }
-        let t0 = self.storage.clock().now_ns();
+        let t0 = self.storage.clock().now();
         let m0 = self.storage.metrics();
 
         let sources: Vec<EntrySource> = runs
@@ -392,14 +392,18 @@ impl FlsmTree {
         self.levels.iter().map(Level::entry_count).sum()
     }
 
-    /// Snapshot of all statistics.
+    /// Snapshot of all statistics. One tree is one time domain, so the
+    /// wall (`clock_ns`) and busy (`busy_ns`) readings coincide here; they
+    /// diverge only in shard-merged snapshots.
     pub fn stats(&self) -> TreeStatsSnapshot {
+        let domain_ns = self.storage.clock().now_ns();
         TreeStatsSnapshot {
             lookups: self.lookups,
             updates: self.updates,
             scans: self.scans,
             flushes: self.flushes,
-            clock_ns: self.storage.clock().now_ns(),
+            clock_ns: domain_ns,
+            busy_ns: domain_ns,
             levels: self.level_stats.iter().map(LevelStats::snapshot).collect(),
         }
     }

@@ -11,6 +11,13 @@
 //!
 //! Replay stops at the first corrupt or truncated record, recovering the
 //! longest valid prefix — the standard torn-write-tolerant behaviour.
+//!
+//! Durability is governed by an explicit **flush policy**: by default
+//! appends only buffer in user space (a crash can lose everything since
+//! the last [`Wal::sync`]), while [`Wal::open_with_sync_every`] bounds the
+//! loss window to `n` records by fsyncing automatically every `n`
+//! appends. Callers batching at a coarser granularity (e.g. one mission)
+//! can instead call [`Wal::flush`] or [`Wal::sync`] at their boundary.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -39,21 +46,38 @@ pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     records: u64,
+    /// Auto-fsync every `n` appends; 0 = manual syncs only.
+    sync_every: u64,
+    /// Records appended since the last fsync.
+    unsynced: u64,
 }
 
 impl Wal {
-    /// Opens (creating or appending to) the log at `path`.
+    /// Opens (creating or appending to) the log at `path`, with manual
+    /// durability: appends buffer in user space until [`Wal::flush`] or
+    /// [`Wal::sync`] is called.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with_sync_every(path, 0)
+    }
+
+    /// Opens the log with an automatic fsync every `sync_every` appends
+    /// (0 disables auto-sync), bounding crash loss to the last
+    /// `sync_every - 1` records.
+    pub fn open_with_sync_every(path: impl AsRef<Path>, sync_every: u64) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Self {
             path,
             writer: BufWriter::new(file),
             records: 0,
+            sync_every,
+            unsynced: 0,
         })
     }
 
-    /// Appends one entry. Durability requires a subsequent [`Wal::sync`].
+    /// Appends one entry. Durability follows the flush policy: with
+    /// auto-sync configured the append fsyncs once the cadence is
+    /// reached, otherwise it only buffers until [`Wal::flush`]/[`Wal::sync`].
     pub fn append(&mut self, e: &KvEntry) -> std::io::Result<()> {
         let mut body = Vec::with_capacity(11 + e.key.len() + e.value.len());
         body.extend_from_slice(&e.seq.to_le_bytes());
@@ -65,18 +89,41 @@ impl Wal {
         self.writer.write_all(&crc32(&body).to_le_bytes())?;
         self.writer.write_all(&body)?;
         self.records += 1;
+        self.unsynced += 1;
+        if self.sync_every > 0 && self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
         Ok(())
     }
 
-    /// Flushes buffered records and fsyncs the file.
+    /// Flushes buffered records to the OS without forcing them to stable
+    /// storage — the cheap mission-boundary policy: survives a process
+    /// crash, not a power failure. Deliberately does *not* reset the
+    /// auto-sync cadence, so the `sync_every` power-failure bound holds
+    /// however often callers flush.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Flushes buffered records and fsyncs the file. The loss-window
+    /// counter resets only once the fsync *succeeds* — a failed sync
+    /// leaves `unsynced()` (and the auto-sync cadence) honest.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()
+        self.writer.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
     }
 
     /// Number of records appended through this handle.
     pub fn appended(&self) -> u64 {
         self.records
+    }
+
+    /// Records appended since the last fsync — the current power-failure
+    /// loss window.
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
     }
 
     /// Truncates the log (after a successful memtable flush).
@@ -93,6 +140,7 @@ impl Wal {
                 .unwrap_or(file),
         );
         self.records = 0;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -244,5 +292,112 @@ mod tests {
     fn crc_detects_changes() {
         assert_ne!(crc32(b"hello"), crc32(b"hellp"));
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// Simulates a crash: the writer is leaked so its `BufWriter` never
+    /// flushes on drop, exactly like a process dying mid-append.
+    fn crash(wal: Wal) {
+        std::mem::forget(wal);
+    }
+
+    #[test]
+    fn auto_sync_bounds_crash_loss() {
+        let path = tmp("autosync");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open_with_sync_every(&path, 4).unwrap();
+            for i in 1..=10u64 {
+                wal.append(&e(&format!("k{i}"), "v", i)).unwrap();
+            }
+            // Appends 1..=8 were covered by the two automatic syncs; 9 and
+            // 10 sit in the loss window.
+            assert_eq!(wal.appended(), 10);
+            assert_eq!(wal.unsynced(), 2);
+            crash(wal);
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(
+            replayed.len(),
+            8,
+            "auto-sync every 4 must preserve the first 8 of 10 records"
+        );
+        assert_eq!(replayed.last().unwrap().seq, 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manual_policy_without_flush_loses_buffered_records() {
+        let path = tmp("manual-crash");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&e("a", "1", 1)).unwrap();
+            wal.append(&e("b", "2", 2)).unwrap();
+            assert_eq!(wal.unsynced(), 2);
+            crash(wal);
+        }
+        // The documented (and previously silent) failure mode of the
+        // manual policy: "logged" but unflushed records vanish.
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mission_boundary_flush_survives_process_crash() {
+        let path = tmp("flush-boundary");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&e("a", "1", 1)).unwrap();
+            wal.append(&e("b", "2", 2)).unwrap();
+            wal.flush().unwrap(); // mission boundary
+                                  // flush() bounds *process-crash* loss; the power-failure
+                                  // window (fsync cadence) is untouched.
+            assert_eq!(wal.unsynced(), 2);
+            wal.append(&e("c", "3", 3)).unwrap();
+            crash(wal);
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "flushed prefix survives, tail is lost");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_does_not_defer_auto_sync() {
+        let path = tmp("flush-vs-autosync");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open_with_sync_every(&path, 2).unwrap();
+            wal.append(&e("a", "1", 1)).unwrap();
+            wal.flush().unwrap(); // must not reset the fsync cadence
+            wal.append(&e("b", "2", 2)).unwrap(); // second append: auto-sync
+            assert_eq!(wal.unsynced(), 0, "cadence of 2 reached despite flush");
+            wal.append(&e("c", "3", 3)).unwrap();
+            crash(wal);
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "the auto-synced prefix survives");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_stops_at_mid_record_truncation_after_auto_sync() {
+        let path = tmp("autosync-midrec");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open_with_sync_every(&path, 1).unwrap();
+            for i in 1..=3u64 {
+                wal.append(&e(&format!("key-{i}"), "value", i)).unwrap();
+            }
+            crash(wal);
+        }
+        // Tear the last record in half (torn write at power loss): chop
+        // inside record 3's body, past its header.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "torn third record must be dropped");
+        assert_eq!(replayed[1].seq, 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

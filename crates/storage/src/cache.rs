@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 
 use crate::clock::VirtualClock;
 use crate::cost::CostModel;
-use crate::disk::{Extent, Storage};
+use crate::disk::{Extent, IoCharge, Storage};
 use crate::metrics::StorageMetrics;
 
 /// Key identifying a cached page.
@@ -118,27 +118,34 @@ impl<S: Storage> Storage for BlockCache<S> {
         self.inner.allocate(pages)
     }
 
-    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) {
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge {
         // Write-through: keep the cache coherent and always persist.
         self.lru
             .lock()
             .insert((ext.id, idx), Arc::from(data.to_vec().into_boxed_slice()));
-        self.inner.write_page(ext, idx, data);
+        self.inner.write_page(ext, idx, data)
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) {
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
         let cached = self.lru.lock().touch((ext.id, idx));
         if let Some(data) = cached {
             buf.clear();
             buf.extend_from_slice(&data);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.inner.charge_cpu(self.inner.cost_model().cpu_probe_ns);
+            let probe_ns = self.inner.cost_model().cpu_probe_ns;
+            self.inner.charge_cpu(probe_ns);
+            // A hit performs no device I/O: only the CPU probe is charged.
+            IoCharge {
+                ns: probe_ns,
+                io: StorageMetrics::default(),
+            }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.inner.read_page(ext, idx, buf);
+            let charge = self.inner.read_page(ext, idx, buf);
             self.lru
                 .lock()
                 .insert((ext.id, idx), Arc::from(buf.clone().into_boxed_slice()));
+            charge
         }
     }
 

@@ -23,6 +23,23 @@ pub struct Extent {
     pub pages: u32,
 }
 
+/// The exact cost of one storage call: the virtual nanoseconds charged to
+/// the caller's timeline plus the device I/O performed, as a metrics delta.
+///
+/// Returning the charge from [`Storage::write_page`]/[`Storage::read_page`]
+/// lets wrapping views (a shard's `crate::ShardStorage`, a
+/// [`crate::BlockCache`]) mirror the accounting into their own time domain
+/// *exactly*, without windowing shared counters that concurrent siblings
+/// also advance. A cache hit, for example, reports its CPU cost in `ns`
+/// with a zero `io` delta — no device read happened.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoCharge {
+    /// Total virtual ns charged to the storage clock by this call.
+    pub ns: u64,
+    /// Device I/O the call performed (zero on e.g. cache hits).
+    pub io: StorageMetrics,
+}
+
 /// A page-granular storage device.
 ///
 /// Both the [`SimulatedDisk`] and the real-file [`crate::FileDisk`] implement
@@ -34,31 +51,36 @@ pub trait Storage: Send + Sync {
     /// Allocates `pages` pages and returns their extent.
     fn allocate(&self, pages: u32) -> Extent;
 
-    /// Writes `data` (at most one page) to page `idx` of `ext`.
+    /// Writes `data` (at most one page) to page `idx` of `ext`, returning
+    /// the exact [`IoCharge`] so wrappers can mirror the accounting.
     ///
     /// # Panics
     /// Panics if `idx` is out of bounds or `data` exceeds the page size.
-    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]);
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge;
 
-    /// Reads page `idx` of `ext` into `buf` (cleared first).
+    /// Reads page `idx` of `ext` into `buf` (cleared first), returning the
+    /// exact [`IoCharge`] so wrappers can mirror the accounting.
     ///
     /// # Panics
     /// Panics if the page does not exist.
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>);
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge;
 
     /// Releases an extent. Reading freed pages panics.
     fn free(&self, ext: Extent);
 
-    /// Snapshot of the device I/O counters.
+    /// Snapshot of the I/O counters *as seen through this handle*: the
+    /// device totals for a raw device, the owning domain's share for a
+    /// per-shard view.
     fn metrics(&self) -> StorageMetrics;
 
-    /// The virtual clock this device charges I/O time to.
+    /// The virtual clock this handle charges time to: the device clock for
+    /// a raw device, the shard's own time domain for a per-shard view.
     fn clock(&self) -> &VirtualClock;
 
     /// The cost model used for virtual-time charging.
     fn cost_model(&self) -> CostModel;
 
-    /// Charges pure CPU time to the device clock (used by the engine for
+    /// Charges pure CPU time to this handle's clock (used by the engine for
     /// `c_r`/`c_w` style costs so that everything lands on one timeline).
     fn charge_cpu(&self, ns: u64) {
         self.clock().advance(ns);
@@ -121,7 +143,7 @@ impl Storage for SimulatedDisk {
         Extent { id, pages }
     }
 
-    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) {
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge {
         assert!(
             data.len() <= self.page_size,
             "page overflow: {} > {}",
@@ -140,17 +162,21 @@ impl Storage for SimulatedDisk {
                 .unwrap_or_else(|| panic!("write to freed/unknown extent {}", ext.id));
             slots[idx as usize] = Some(data.to_vec().into_boxed_slice());
         }
-        self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.metrics
-            .write_ns
-            .fetch_add(self.cost.write_page_ns, Ordering::Relaxed);
-        self.clock.advance(self.cost.write_page_ns);
+        let charge = IoCharge {
+            ns: self.cost.write_page_ns,
+            io: StorageMetrics {
+                pages_written: 1,
+                bytes_written: data.len() as u64,
+                write_ns: self.cost.write_page_ns,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) {
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
         buf.clear();
         {
             let extents = self.extents.read();
@@ -162,14 +188,18 @@ impl Storage for SimulatedDisk {
                 .unwrap_or_else(|| panic!("read of unwritten page {}:{idx}", ext.id));
             buf.extend_from_slice(page);
         }
-        self.metrics.pages_read.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .bytes_read
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
-        self.metrics
-            .read_ns
-            .fetch_add(self.cost.read_page_ns, Ordering::Relaxed);
-        self.clock.advance(self.cost.read_page_ns);
+        let charge = IoCharge {
+            ns: self.cost.read_page_ns,
+            io: StorageMetrics {
+                pages_read: 1,
+                bytes_read: buf.len() as u64,
+                read_ns: self.cost.read_page_ns,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        charge
     }
 
     fn free(&self, ext: Extent) {

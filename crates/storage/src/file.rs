@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 
 use crate::clock::VirtualClock;
 use crate::cost::CostModel;
-use crate::disk::{Extent, Storage};
+use crate::disk::{Extent, IoCharge, Storage};
 use crate::metrics::{AtomicMetrics, StorageMetrics};
 
 /// A [`Storage`] backend keeping each extent in one file under a directory.
@@ -81,7 +81,7 @@ impl Storage for FileDisk {
         Extent { id, pages }
     }
 
-    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) {
+    fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge {
         assert!(data.len() <= self.page_size, "page overflow");
         assert!(idx < ext.pages, "page index out of bounds");
         let mut f = self.open(ext.id);
@@ -92,17 +92,21 @@ impl Storage for FileDisk {
         page[..4].copy_from_slice(&(data.len() as u32).to_le_bytes());
         page[4..4 + data.len()].copy_from_slice(data);
         f.write_all(&page).expect("write page");
-        self.metrics.pages_written.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.metrics
-            .write_ns
-            .fetch_add(self.cost.write_page_ns, Ordering::Relaxed);
-        self.clock.advance(self.cost.write_page_ns);
+        let charge = IoCharge {
+            ns: self.cost.write_page_ns,
+            io: StorageMetrics {
+                pages_written: 1,
+                bytes_written: data.len() as u64,
+                write_ns: self.cost.write_page_ns,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) {
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
         let mut f = self.open(ext.id);
         f.seek(SeekFrom::Start(idx as u64 * self.page_size as u64))
             .expect("seek");
@@ -112,14 +116,18 @@ impl Storage for FileDisk {
         assert!(len <= self.page_size - 4, "corrupt page header");
         buf.clear();
         buf.extend_from_slice(&page[4..4 + len]);
-        self.metrics.pages_read.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .bytes_read
-            .fetch_add(len as u64, Ordering::Relaxed);
-        self.metrics
-            .read_ns
-            .fetch_add(self.cost.read_page_ns, Ordering::Relaxed);
-        self.clock.advance(self.cost.read_page_ns);
+        let charge = IoCharge {
+            ns: self.cost.read_page_ns,
+            io: StorageMetrics {
+                pages_read: 1,
+                bytes_read: len as u64,
+                read_ns: self.cost.read_page_ns,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        charge
     }
 
     fn free(&self, ext: Extent) {

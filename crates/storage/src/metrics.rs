@@ -14,6 +14,20 @@ pub(crate) struct AtomicMetrics {
 }
 
 impl AtomicMetrics {
+    /// Adds a per-call metrics delta (e.g. an [`crate::IoCharge`]'s I/O)
+    /// into the counters — used by storage views mirroring a shared
+    /// device's accounting into their own domain.
+    pub fn add(&self, d: &StorageMetrics) {
+        self.pages_read.fetch_add(d.pages_read, Ordering::Relaxed);
+        self.pages_written
+            .fetch_add(d.pages_written, Ordering::Relaxed);
+        self.bytes_read.fetch_add(d.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(d.bytes_written, Ordering::Relaxed);
+        self.read_ns.fetch_add(d.read_ns, Ordering::Relaxed);
+        self.write_ns.fetch_add(d.write_ns, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StorageMetrics {
         StorageMetrics {
             pages_read: self.pages_read.load(Ordering::Relaxed),

@@ -13,12 +13,17 @@
 //! ([`storage`], whose accounting is atomic and `Sync`). Missions execute
 //! in parallel — one scoped OS thread per shard, operations routed by the
 //! stable FNV-1a hash in [`workload::routing`]; cross-shard range scans
-//! are k-way merged. A single global tuner ([`ruskey::lerp`] or a
+//! are k-way merged. Each shard accounts on its own **time domain** (a
+//! [`storage::ShardStorage`] view with a private virtual clock), so
+//! per-shard and per-level time attribution is exact under parallelism;
+//! domains compose store-wide into mission wall time (max) and
+//! device-busy time (sum). A single global tuner ([`ruskey::lerp`] or a
 //! baseline) observes the shard-merged statistics and fans its per-level
 //! policy changes out to every shard, so the paper's tuning loop is
 //! unchanged. [`ruskey::db::RusKey`] remains the single-tree `N = 1` case
 //! used by all paper experiments; `tests/sharded_equivalence.rs` asserts
-//! the two are observationally equivalent.
+//! the two are observationally equivalent and `tests/time_domains.rs`
+//! asserts per-shard accounting exactness at `N ∈ {2, 4}`.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

@@ -75,6 +75,14 @@ fn single_shard_mission_counters_equal_ruskey() {
             r1.end_to_end_ns, r2.end_to_end_ns,
             "mission {mission}: virtual time"
         );
+        assert_eq!(
+            r1.device_busy_ns, r2.device_busy_ns,
+            "mission {mission}: device-busy time"
+        );
+        assert_eq!(
+            r2.end_to_end_ns, r2.device_busy_ns,
+            "mission {mission}: one shard means one domain, wall == busy"
+        );
         assert_eq!(r1.levels, r2.levels, "mission {mission}: per-level stats");
         assert_eq!(r1.policies_after, r2.policies_after, "mission {mission}");
     }

@@ -1,0 +1,214 @@
+//! Per-shard time domains: the exactness property the sharded engine's
+//! accounting now guarantees.
+//!
+//! Each shard of a [`ShardedRusKey`] runs on its own storage view with a
+//! private virtual clock, so per-level `lookup_ns`/`compact_ns` (and the
+//! per-shard I/O counters) must equal — *exactly*, not approximately —
+//! the values of an equivalent single-shard run over that shard's key
+//! partition, even while `N` shards execute concurrently. The store-level
+//! compositions (device-busy = sum over domains, mission wall = max over
+//! domains) must behave like the monoids they claim to be.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ruskey_repro::lsm::TreeStatsSnapshot;
+use ruskey_repro::ruskey::db::RusKeyConfig;
+use ruskey_repro::ruskey::sharded::ShardedRusKey;
+use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
+use ruskey_repro::workload::routing::{partition_ops, shard_for_key};
+use ruskey_repro::workload::{bulk_load_pairs, OpGenerator, OpMix, Operation, WorkloadSpec};
+
+fn small_cfg() -> RusKeyConfig {
+    let mut cfg = RusKeyConfig::scaled_default();
+    cfg.lsm.buffer_bytes = 4096;
+    cfg.lsm.size_ratio = 4;
+    cfg
+}
+
+fn disk() -> Arc<dyn Storage> {
+    SimulatedDisk::new(512, CostModel::NVME)
+}
+
+fn mixed_spec(key_space: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        key_space,
+        key_len: 16,
+        value_len: 48,
+        ..WorkloadSpec::scaled_default(key_space)
+    }
+    .with_mix(OpMix {
+        lookup: 0.35,
+        update: 0.4,
+        delete: 0.1,
+        scan: 0.15,
+    })
+}
+
+/// Acceptance (ISSUE 2): at `N ∈ {2, 4}`, every shard's statistics after
+/// parallel missions — including the time attribution `lookup_ns` and
+/// `compact_ns` — are bit-identical to a single-shard store replaying that
+/// shard's lane of the same missions on its key partition. Before time
+/// domains, concurrent siblings' charges leaked into these windows.
+#[test]
+fn per_shard_times_equal_single_threaded_run() {
+    for &n in &[2usize, 4] {
+        let pairs = bulk_load_pairs(2000, 16, 48, 7);
+        let mut sharded = ShardedRusKey::untuned(small_cfg(), n, disk());
+        sharded.bulk_load(pairs.clone());
+
+        let mut g = OpGenerator::new(mixed_spec(2000), 9);
+        let missions: Vec<Vec<Operation>> = (0..4).map(|_| g.take_ops(300)).collect();
+        let reports: Vec<_> = missions
+            .iter()
+            .map(|ops| sharded.run_mission(ops))
+            .collect();
+        assert_eq!(
+            sharded.last_parallelism(),
+            n,
+            "missions must actually run in parallel for the test to mean anything"
+        );
+
+        for shard in 0..n {
+            // Equivalent single-threaded run: the shard's key partition,
+            // then the shard's lane of every mission (scans broadcast, so
+            // each lane contains them all).
+            let mut single = ShardedRusKey::untuned(small_cfg(), 1, disk());
+            single.bulk_load(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| shard_for_key(k, n) == shard)
+                    .cloned()
+                    .collect(),
+            );
+            for ops in &missions {
+                let lane: Vec<Operation> = partition_ops(ops, n)[shard]
+                    .iter()
+                    .map(|op| (*op).clone())
+                    .collect();
+                single.run_mission(&lane);
+            }
+            let parallel_stats = sharded.shard(shard).stats();
+            let solo_stats = single.shard(0).stats();
+            assert_eq!(
+                parallel_stats, solo_stats,
+                "shards={n} shard={shard}: parallel per-shard accounting \
+                 diverged from the single-threaded run"
+            );
+            // Spell out the headline fields of the acceptance criterion.
+            for (lvl, (p, s)) in parallel_stats
+                .levels
+                .iter()
+                .zip(&solo_stats.levels)
+                .enumerate()
+            {
+                assert_eq!(p.lookup_ns, s.lookup_ns, "shard {shard} level {lvl}");
+                assert_eq!(p.compact_ns, s.compact_ns, "shard {shard} level {lvl}");
+            }
+        }
+
+        // The merged mission reports composed correctly: wall never
+        // exceeds device-busy, and both are populated.
+        for r in &reports {
+            assert!(r.end_to_end_ns > 0);
+            assert!(r.end_to_end_ns <= r.device_busy_ns);
+        }
+    }
+}
+
+/// The merged snapshot is assembled from exact per-shard parts: its
+/// per-level times are the sums of the shards' (individually exact)
+/// times, its busy time the sum and its wall time the max of the domains.
+#[test]
+fn merged_snapshot_composes_exact_shard_parts() {
+    let n = 4;
+    let mut sharded = ShardedRusKey::untuned(small_cfg(), n, disk());
+    sharded.bulk_load(bulk_load_pairs(2000, 16, 48, 11));
+    let mut g = OpGenerator::new(mixed_spec(2000), 17);
+    for _ in 0..3 {
+        sharded.run_mission(&g.take_ops(400));
+    }
+    let per_shard = sharded.shard_snapshots();
+    let merged = sharded.stats();
+    assert_eq!(
+        merged.busy_ns,
+        per_shard.iter().map(|s| s.busy_ns).sum::<u64>()
+    );
+    assert_eq!(
+        merged.clock_ns,
+        per_shard.iter().map(|s| s.clock_ns).max().unwrap()
+    );
+    for lvl in 0..merged.levels.len() {
+        let want: u64 = per_shard
+            .iter()
+            .filter_map(|s| s.levels.get(lvl))
+            .map(|l| l.lookup_ns + l.compact_ns)
+            .sum();
+        assert_eq!(merged.levels[lvl].total_ns(), want, "level {lvl}");
+    }
+}
+
+fn arb_snapshot() -> impl Strategy<Value = TreeStatsSnapshot> {
+    (
+        (0u64..1000, 0u64..1000, 0u64..100),
+        0u64..1_000_000,
+        prop::collection::vec((0u64..10_000, 0u64..10_000), 0..4),
+    )
+        .prop_map(
+            |((lookups, updates, scans), clock, levels)| TreeStatsSnapshot {
+                lookups,
+                updates,
+                scans,
+                flushes: 0,
+                clock_ns: clock,
+                busy_ns: clock,
+                levels: levels
+                    .into_iter()
+                    .map(
+                        |(lookup_ns, compact_ns)| ruskey_repro::lsm::LevelStatsSnapshot {
+                            lookup_ns,
+                            compact_ns,
+                            ..Default::default()
+                        },
+                    )
+                    .collect(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The sum/max domain composition is associative and
+    /// permutation-invariant: any merge order of any shard ordering
+    /// yields the same store-wide snapshot.
+    #[test]
+    fn composition_is_associative_and_permutation_invariant(
+        snaps in prop::collection::vec(arb_snapshot(), 1..6),
+        rotation in 0usize..6,
+    ) {
+        // Associativity: left fold == right fold.
+        let left = TreeStatsSnapshot::merge_all(&snaps);
+        let right = snaps
+            .iter()
+            .rev()
+            .fold(TreeStatsSnapshot::default(), |acc, s| s.merge(&acc));
+        prop_assert_eq!(&left, &right);
+
+        // Permutation invariance: rotations and reversal agree.
+        let k = rotation % snaps.len();
+        let rotated: Vec<&TreeStatsSnapshot> =
+            snaps[k..].iter().chain(snaps[..k].iter()).collect();
+        prop_assert_eq!(&left, &TreeStatsSnapshot::merge_all(rotated));
+        let reversed: Vec<&TreeStatsSnapshot> = snaps.iter().rev().collect();
+        prop_assert_eq!(&left, &TreeStatsSnapshot::merge_all(reversed));
+
+        // The two compositions do what they say on the tin.
+        prop_assert_eq!(left.busy_ns, snaps.iter().map(|s| s.busy_ns).sum::<u64>());
+        prop_assert_eq!(
+            left.clock_ns,
+            snaps.iter().map(|s| s.clock_ns).max().unwrap_or(0)
+        );
+    }
+}
