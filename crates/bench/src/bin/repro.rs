@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
-//!   bruteforce  shard_scaling  all  ablations  lab
+//!   bruteforce  shard_scaling  durability  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -317,6 +317,44 @@ fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Opt
     println!();
 }
 
+fn run_durability(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Durability: WAL + cross-shard group commit ==");
+    let rows = durability(scale, &[1, 2, 4]);
+    println!(
+        "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12}{:>22}{:>8}",
+        "shards",
+        "acked ops",
+        "synced ops",
+        "appends",
+        "fsyncs",
+        "batch",
+        "commit ns/mission",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12.1}{:>22.1}{:>8}",
+            r.shards,
+            r.acknowledged_ops,
+            r.synced_ops,
+            r.wal_appends,
+            r.wal_syncs,
+            r.mean_batch,
+            r.commit_ns_per_mission,
+            r.ok
+        );
+    }
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "durability.json".to_string());
+    let json = durability_json(scale_label, &rows);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_bruteforce(scale: &ExperimentScale) {
     println!("== Brute-force learning comparison (write-heavy workload) ==");
     for r in bruteforce(scale) {
@@ -405,13 +443,26 @@ fn main() {
     if want("bruteforce") {
         run_bruteforce(scale);
     }
-    if want("shard_scaling") {
+    if want("shard_scaling") || want("durability") {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
             n if n <= 2_000 => "tiny",
             _ => "small",
         };
-        run_shard_scaling(scale, label, &args.json_path);
+        if want("shard_scaling") {
+            run_shard_scaling(scale, label, &args.json_path);
+        }
+        if want("durability") {
+            // Under `all` the shard-scaling run already claimed --json;
+            // durability falls back to its default file name instead of
+            // overwriting that output.
+            let json = if args.experiment == "durability" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_durability(scale, label, json);
+        }
     }
     if args.experiment == "ablations" {
         run_ablations(scale);

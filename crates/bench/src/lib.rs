@@ -9,11 +9,13 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod durability;
 pub mod experiments;
 pub mod output;
 pub mod scaling;
 
 pub use ablations::*;
+pub use durability::*;
 pub use experiments::*;
 pub use output::*;
 pub use scaling::*;

@@ -1,5 +1,6 @@
 //! Plain-text table, CSV, and JSON rendering for experiment results.
 
+use crate::durability::DurabilityRow;
 use crate::experiments::{Comparison, RankingTable, Series};
 use crate::scaling::ShardScalingRow;
 
@@ -95,6 +96,46 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
             r.virtual_wall_ns_per_op,
             r.virtual_busy_ns_per_op,
             r.parallelism,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the durability experiment as machine-readable JSON. Each row
+/// carries the group-commit accounting (`synced_ops` vs
+/// `acknowledged_ops`, fsync counts, batch size) plus a per-row `ok`
+/// verdict; the top-level `durability_ok` is the conjunction, which CI
+/// greps as a smoke check (synced ops ≥ acknowledged ops, ≤ 1 sync per
+/// shard per batch, exact replay on recovery).
+pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"durability\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!(
+        "  \"durability_ok\": {},\n",
+        rows.iter().all(|r| r.ok)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \
+             \"acknowledged_ops\": {}, \"synced_ops\": {}, \"wal_appends\": {}, \
+             \"wal_syncs\": {}, \"mean_batch\": {:.2}, \
+             \"commit_ns_per_mission\": {:.1}, \"recovered_records\": {}, \
+             \"ok\": {}}}{}\n",
+            r.shards,
+            r.missions,
+            r.ops_total,
+            r.acknowledged_ops,
+            r.synced_ops,
+            r.wal_appends,
+            r.wal_syncs,
+            r.mean_batch,
+            r.commit_ns_per_mission,
+            r.recovered_records,
+            r.ok,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

@@ -80,7 +80,7 @@ pub mod tuner;
 pub use db::{RusKey, RusKeyConfig};
 pub use dqn_lerp::DqnLerp;
 pub use lerp::{Lerp, LerpConfig};
-pub use sharded::ShardedRusKey;
+pub use sharded::{DurabilityConfig, OpenError, ShardedRusKey};
 pub use stats::{LevelMissionStats, MissionReport, StatsCollector};
 pub use tuner::{
     BruteForceLerp, FixedPolicy, GreedyHeuristic, LazyLeveling, NoOpTuner, PerLevelNoPropagation,

@@ -37,13 +37,32 @@
 //! point/scan calls between missions fold into the next mission's delta
 //! (as they always have); broadcast scans among them are tracked so the
 //! report still counts every scan logically once.
+//!
+//! ## Durability: per-shard WALs + cross-shard group commit
+//!
+//! A store opened with [`ShardedRusKey::try_with_tuner_durable`] gives
+//! every shard its own WAL file ([`DurabilityConfig::shard_wal_path`]):
+//! shard workers append each put/delete to their log *before* the
+//! memtable insert, without syncing per record. Every mission then ends
+//! with a **group-commit barrier** ([`ShardedRusKey::group_commit`]) that
+//! fsyncs each shard's log at most once — the batch's records become
+//! acknowledged together, paying one sync per shard per mission instead
+//! of one per record. The barrier's cost and counters surface through
+//! [`MissionReport::{wal_appends, wal_syncs, wal_synced, commit_ns}`] and
+//! `TreeStatsSnapshot`, so the tuner and the `repro durability`
+//! experiment see exactly what durability costs. After a crash,
+//! [`ShardedRusKey::recover`] replays every shard's log (valid prefix
+//! only, order pinned by record sequence numbers) into fresh trees;
+//! `tests/crash_recovery.rs` pins the recovery contract at every
+//! [`ruskey_lsm::CrashPoint`] for `N ∈ {1, 2, 4}`.
 
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bytes::Bytes;
-use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot};
+use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot, Wal};
 use ruskey_storage::{ShardStorage, Storage};
 use ruskey_workload::routing::{partition_ops, shard_for_key};
 use ruskey_workload::Operation;
@@ -52,6 +71,81 @@ use crate::db::{execute_op, RusKeyConfig};
 use crate::lerp::Lerp;
 use crate::stats::{MissionReport, StatsCollector};
 use crate::tuner::{NoOpTuner, TreeObservation, Tuner};
+
+/// Durability settings of a sharded store: where the per-shard WAL files
+/// live and how eagerly each shard fsyncs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding one WAL file per shard (`shard-<i>.wal`);
+    /// created if absent.
+    pub dir: PathBuf,
+    /// Per-shard auto-fsync cadence (records); 0 relies solely on the
+    /// cross-shard group-commit barrier at mission boundaries — the
+    /// default, and the cheapest policy: one sync per shard per batch.
+    pub sync_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Group-commit-only durability (no per-record auto-sync) with WALs
+    /// under `dir`.
+    pub fn group_commit(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync_every: 0,
+        }
+    }
+
+    /// The WAL file path of one shard.
+    pub fn shard_wal_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.wal"))
+    }
+}
+
+/// Why a durable store could not be opened or recovered.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The LSM configuration was rejected.
+    Config(ConfigError),
+    /// A WAL file could not be created, read, or truncated.
+    Io(std::io::Error),
+    /// Recovery found shard logs beyond the requested shard count —
+    /// proceeding would silently drop their acknowledged writes.
+    ShardCountMismatch {
+        /// Number of shard logs the directory describes (highest
+        /// `shard-<i>.wal` index + 1).
+        logs: usize,
+        /// The shard count recovery was asked for.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Config(e) => write!(f, "invalid configuration: {e}"),
+            OpenError::Io(e) => write!(f, "WAL I/O failed: {e}"),
+            OpenError::ShardCountMismatch { logs, shards } => write!(
+                f,
+                "log directory describes {logs} shards but recovery was asked \
+                 for {shards}; recovering would drop acknowledged writes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+impl From<ConfigError> for OpenError {
+    fn from(e: ConfigError) -> Self {
+        OpenError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for OpenError {
+    fn from(e: std::io::Error) -> Self {
+        OpenError::Io(e)
+    }
+}
 
 /// An RL-tuned key-value store over `N` hash-partitioned FLSM shards.
 pub struct ShardedRusKey {
@@ -100,6 +194,96 @@ impl ShardedRusKey {
             last_parallelism: 0,
             adhoc_scans: 0,
         })
+    }
+
+    /// Creates a *durable* sharded store: every shard gets its own WAL
+    /// file under `durability.dir` (appended before each memtable insert,
+    /// truncated on flush), and missions end with a cross-shard
+    /// group-commit barrier — at most one fsync per shard per mission.
+    pub fn try_with_tuner_durable(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+        tuner: Box<dyn Tuner>,
+        durability: &DurabilityConfig,
+    ) -> Result<Self, OpenError> {
+        std::fs::create_dir_all(&durability.dir)?;
+        let mut store = Self::try_with_tuner(cfg, shards, storage, tuner)?;
+        for (i, tree) in store.shards.iter_mut().enumerate() {
+            let path = durability.shard_wal_path(i);
+            // A fresh store starts from empty logs: leftovers from a
+            // previous incarnation would otherwise merge into a later
+            // recovery with colliding sequence numbers (this store's seq
+            // restarts at 1). [`ShardedRusKey::recover`] is the explicit
+            // path for continuing from existing logs.
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            tree.attach_wal(Wal::open_with_sync_every(path, durability.sync_every)?);
+        }
+        Ok(store)
+    }
+
+    /// Recovers a durable sharded store after a crash: each shard's WAL
+    /// is replayed (valid prefix only, order pinned by record sequence
+    /// numbers, torn tails truncated away) into a fresh tree, and the
+    /// statistics baseline is reset so the first mission's report
+    /// excludes recovery work.
+    ///
+    /// Per-shard WALs recover independently, which is exactly why the
+    /// routing hash must stay stable: the same `shards` count must be
+    /// passed that produced the logs.
+    pub fn recover(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+        tuner: Box<dyn Tuner>,
+        durability: &DurabilityConfig,
+    ) -> Result<Self, OpenError> {
+        assert!(shards >= 1, "a store needs at least one shard");
+        cfg.lsm.validate()?;
+        std::fs::create_dir_all(&durability.dir)?;
+        // Refuse to recover fewer shards than the directory describes:
+        // the extra logs hold acknowledged writes that would otherwise
+        // vanish silently (the routing hash keys on the shard count).
+        let mut logs = 0usize;
+        for entry in std::fs::read_dir(&durability.dir)? {
+            let name = entry?.file_name();
+            let idx = name
+                .to_string_lossy()
+                .strip_prefix("shard-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<usize>().ok());
+            if let Some(idx) = idx {
+                logs = logs.max(idx + 1);
+            }
+        }
+        if logs > shards {
+            return Err(OpenError::ShardCountMismatch { logs, shards });
+        }
+        let trees = (0..shards)
+            .map(|i| {
+                let view: Arc<dyn Storage> = ShardStorage::new(Arc::clone(&storage));
+                FlsmTree::recover(
+                    cfg.lsm.clone(),
+                    view,
+                    durability.shard_wal_path(i),
+                    durability.sync_every,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut store = Self {
+            shards: trees,
+            tuner,
+            collector: StatsCollector::new(),
+            last_report: None,
+            last_parallelism: 0,
+            adhoc_scans: 0,
+        };
+        store.collector.baseline_shards(store.shard_snapshots());
+        Ok(store)
     }
 
     /// Creates a sharded store tuned by Lerp, rejecting invalid
@@ -153,6 +337,43 @@ impl ShardedRusKey {
     /// Read access to one shard's tree (experiments and introspection).
     pub fn shard(&self, idx: usize) -> &FlsmTree {
         &self.shards[idx]
+    }
+
+    /// Mutable access to one shard's tree (test harnesses arm WAL crash
+    /// points through this).
+    pub fn shard_mut(&mut self, idx: usize) -> &mut FlsmTree {
+        &mut self.shards[idx]
+    }
+
+    /// True if any shard's WAL simulated a process crash (fault
+    /// injection): the store's write path is dead and the harness should
+    /// recover from the logs.
+    pub fn crashed(&self) -> bool {
+        self.shards.iter().any(FlsmTree::wal_crashed)
+    }
+
+    /// The cross-shard group-commit barrier: syncs each shard's WAL at
+    /// most once, acknowledging every record logged since the previous
+    /// barrier — `sync()` once per shard per batch instead of once per
+    /// record. Shards with nothing unacknowledged skip their fsync.
+    /// Returns the virtual ns the barrier added across the shard time
+    /// domains (the batch's durability latency).
+    ///
+    /// The barrier walks shards in order and stops at the first crashed
+    /// WAL (a dead process commits nothing further) — which is what lets
+    /// the crash harness pin exactly which shards' batches became
+    /// durable.
+    pub fn group_commit(&mut self) -> u64 {
+        let mut commit_ns = 0u64;
+        for tree in &mut self.shards {
+            let before = tree.storage().clock().now_ns();
+            tree.commit_wal().expect("WAL group commit failed");
+            commit_ns += tree.storage().clock().now_ns() - before;
+            if tree.wal_crashed() {
+                break;
+            }
+        }
+        commit_ns
     }
 
     /// The tuner's display name.
@@ -356,10 +577,15 @@ impl ShardedRusKey {
                 .expect("worker id set poisoned")
                 .len();
         }
+        // Mission-level commit barrier *before* the snapshots: the batch's
+        // sync cost and acknowledgement counters belong to this mission's
+        // report, and one fsync per shard covers the whole mission batch.
+        let commit_ns = self.group_commit();
         let process_ns = t0.elapsed().as_nanos() as u64;
         let mut report = self
             .collector
             .report_mission_shards(self.shard_snapshots(), process_ns);
+        report.commit_ns = commit_ns;
         // Report the *logical* scan composition (one scan per mission
         // operation, counted at routing time above, plus any ad-hoc
         // `scan()` calls since the last report) so `gamma` is comparable

@@ -53,6 +53,22 @@ pub struct MissionReport {
     pub device_busy_ns: u64,
     /// Per-level statistics (index 0 = the paper's Level 1).
     pub levels: Vec<LevelMissionStats>,
+    /// WAL records appended during the mission (0 for a non-durable
+    /// store): the write-path durability traffic.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued during the mission. Under cross-shard group
+    /// commit this is at most one per participating shard per mission —
+    /// the invariant the crash-recovery harness asserts.
+    pub wal_syncs: u64,
+    /// WAL records acknowledged durable during the mission (covered by a
+    /// fsync, or superseded by a memtable flush). With group commit every
+    /// logged record is acknowledged by its mission's commit barrier at
+    /// the latest, so this equals the mission's update count for a
+    /// durable store.
+    pub wal_synced: u64,
+    /// Virtual ns the group-commit barrier added across shard domains
+    /// (part of `device_busy_ns`; the durability cost of the mission).
+    pub commit_ns: u64,
     /// Real wall-clock time spent processing the mission (ns) — used by the
     /// Fig. 13 model-cost comparison.
     pub real_process_ns: u64,
@@ -86,6 +102,17 @@ impl MissionReport {
             return 0.0;
         }
         self.device_busy_ns as f64 / self.ops as f64
+    }
+
+    /// Mean group-commit batch size: WAL records appended per fsync
+    /// during the mission (0 when no sync was issued). Group commit's
+    /// whole point is making this large — one fsync amortized over the
+    /// batch.
+    pub fn wal_batch_size(&self) -> f64 {
+        if self.wal_syncs == 0 {
+            return 0.0;
+        }
+        self.wal_appends as f64 / self.wal_syncs as f64
     }
 
     /// Mean level latency per operation for level `idx` (virtual ns).
@@ -185,6 +212,10 @@ impl StatsCollector {
             scans: d.scans,
             end_to_end_ns: d.clock_ns,
             device_busy_ns: d.busy_ns,
+            wal_appends: d.wal_appends,
+            wal_syncs: d.wal_syncs,
+            wal_synced: d.wal_synced,
+            commit_ns: 0,
             levels,
             real_process_ns,
             model_update_ns: 0,
@@ -205,14 +236,13 @@ mod tests {
         TreeStatsSnapshot {
             lookups,
             updates,
-            scans: 0,
-            flushes: 0,
             clock_ns: clock,
             busy_ns: clock,
             levels: vec![LevelStatsSnapshot {
                 lookup_ns: lvl_ns,
                 ..Default::default()
             }],
+            ..Default::default()
         }
     }
 
@@ -247,6 +277,27 @@ mod tests {
         assert_eq!(r.end_to_end_ns, 2000, "wall = max(500, 2000)");
         assert_eq!(r.device_busy_ns, 2500, "busy = 500 + 2000");
         assert!((r.busy_ns_per_op() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wal_counters_flow_through_mission_deltas() {
+        let mut c = StatsCollector::new();
+        let mut before = snap(0, 10, 100, 0);
+        before.wal_appends = 10;
+        before.wal_syncs = 1;
+        before.wal_synced = 10;
+        c.baseline(before);
+        let mut after = snap(0, 35, 400, 0);
+        after.wal_appends = 35;
+        after.wal_syncs = 2;
+        after.wal_synced = 35;
+        let r = c.report_mission(after, 1);
+        assert_eq!(r.wal_appends, 25);
+        assert_eq!(r.wal_syncs, 1);
+        assert_eq!(r.wal_synced, 25);
+        assert!((r.wal_batch_size() - 25.0).abs() < 1e-12);
+        // No syncs: batch size is defined as 0, not a division by zero.
+        assert_eq!(MissionReport::default().wal_batch_size(), 0.0);
     }
 
     #[test]

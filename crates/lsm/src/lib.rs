@@ -18,7 +18,13 @@
 //! * Bloom-filter memory schemes: uniform bits-per-key and the **Monkey**
 //!   allocation (`f_i = T^{i-1}·f_1`) used in §5.2 Case 2 ([`monkey`]);
 //! * exact per-level statistics ([`stats`]) feeding the RL reward
-//!   (`t_i`, the level-based latency) and the experiment harness.
+//!   (`t_i`, the level-based latency) and the experiment harness;
+//! * a write-ahead log ([`wal`]) that an [`tree::FlsmTree`] optionally
+//!   owns: puts/deletes are logged before the memtable insert, the log
+//!   truncates on flush, and [`tree::FlsmTree::recover`] rebuilds the
+//!   write buffer from the log's valid prefix after a crash (see the
+//!   [`wal`] module docs for the durability contract and crash-injection
+//!   hooks).
 //!
 //! All I/O goes through the [`ruskey_storage::Storage`] abstraction so the
 //! engine runs identically on the simulated device and on real files.
@@ -46,3 +52,4 @@ pub use stats::{LevelStatsSnapshot, TreeStatsSnapshot};
 pub use transition::TransitionStrategy;
 pub use tree::FlsmTree;
 pub use types::{Key, KvEntry, OpKind, SeqNo, Value};
+pub use wal::{CrashPoint, Wal};

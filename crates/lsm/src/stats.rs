@@ -148,6 +148,16 @@ pub struct TreeStatsSnapshot {
     /// Total virtual work, ns. Equals `clock_ns` for a single tree; merged
     /// snapshots carry the sum over the merged domains (device-busy).
     pub busy_ns: u64,
+    /// Lifetime records appended to the tree's write-ahead log (0 when the
+    /// tree runs without one).
+    pub wal_appends: u64,
+    /// Lifetime WAL fsyncs — the group-commit cost counter (≤ 1 per shard
+    /// per batch under the mission barrier).
+    pub wal_syncs: u64,
+    /// Lifetime WAL records acknowledged durable: covered by a successful
+    /// fsync, or superseded by a memtable flush that persisted them into
+    /// the tree.
+    pub wal_synced: u64,
     /// Per-level snapshots, index 0 = the paper's Level 1.
     pub levels: Vec<LevelStatsSnapshot>,
 }
@@ -184,6 +194,9 @@ impl TreeStatsSnapshot {
             flushes: self.flushes.saturating_sub(earlier.flushes),
             clock_ns: self.clock_ns.saturating_sub(earlier.clock_ns),
             busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            wal_synced: self.wal_synced.saturating_sub(earlier.wal_synced),
             levels,
         }
     }
@@ -214,6 +227,9 @@ impl TreeStatsSnapshot {
             flushes: self.flushes + other.flushes,
             clock_ns: self.clock_ns.max(other.clock_ns),
             busy_ns: self.busy_ns + other.busy_ns,
+            wal_appends: self.wal_appends + other.wal_appends,
+            wal_syncs: self.wal_syncs + other.wal_syncs,
+            wal_synced: self.wal_synced + other.wal_synced,
             levels,
         }
     }
@@ -345,6 +361,30 @@ mod tests {
         assert_eq!(d.lookups, 11);
         assert_eq!(d.clock_ns, 150, "wall = max(150, 50)");
         assert_eq!(d.busy_ns, 200, "busy = 150 + 50");
+    }
+
+    #[test]
+    fn wal_counters_merge_as_sums_and_delta_counterwise() {
+        let a = TreeStatsSnapshot {
+            wal_appends: 10,
+            wal_syncs: 2,
+            wal_synced: 8,
+            ..Default::default()
+        };
+        let b = TreeStatsSnapshot {
+            wal_appends: 4,
+            wal_syncs: 1,
+            wal_synced: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.wal_appends, 14);
+        assert_eq!(m.wal_syncs, 3);
+        assert_eq!(m.wal_synced, 12);
+        let d = a.delta(&b);
+        assert_eq!(d.wal_appends, 6);
+        assert_eq!(d.wal_syncs, 1);
+        assert_eq!(d.wal_synced, 4);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::run::{ProbeOutcome, RunBuilder, RunId};
 use crate::stats::{LevelStats, TreeStatsSnapshot};
 use crate::transition::TransitionStrategy;
 use crate::types::{Key, KvEntry, SeqNo, Value};
+use crate::wal::Wal;
 
 /// A flexible LSM-tree.
 ///
@@ -39,6 +40,11 @@ pub struct FlsmTree {
     updates: u64,
     scans: u64,
     flushes: u64,
+    /// Optional write-ahead log: when attached, every put/delete is
+    /// appended *before* the memtable insert and the log truncates after
+    /// each successful memtable flush. WAL I/O is charged to this tree's
+    /// storage time domain.
+    wal: Option<Wal>,
 }
 
 impl FlsmTree {
@@ -70,7 +76,86 @@ impl FlsmTree {
             updates: 0,
             scans: 0,
             flushes: 0,
+            wal: None,
         })
+    }
+
+    /// Recovers a tree from the write-ahead log at `path`: the log's valid
+    /// prefix is replayed into a fresh tree's memtable (replay order pinned
+    /// by the sequence numbers in the record headers), any torn tail is
+    /// truncated away, and the log stays attached for subsequent writes.
+    ///
+    /// The WAL protects the write buffer: runs flushed to `storage` before
+    /// the crash are the storage backend's durability concern and are not
+    /// reconstructed here.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid ([`LsmConfig::validate`]).
+    pub fn recover(
+        cfg: LsmConfig,
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<std::path::Path>,
+        sync_every: u64,
+    ) -> std::io::Result<Self> {
+        let (wal, mut records) = Wal::recover(path, sync_every)?;
+        let mut tree = Self::new(cfg, storage);
+        // Deterministic replay order: ascending sequence number, so the
+        // latest version of a key wins in the memtable regardless of how
+        // the log bytes were produced.
+        records.sort_by_key(|e| e.seq);
+        for e in records {
+            tree.seq = tree.seq.max(e.seq);
+            tree.memtable.insert(e);
+        }
+        tree.wal = Some(wal);
+        Ok(tree)
+    }
+
+    /// Attaches a write-ahead log: subsequent puts/deletes append to it
+    /// before entering the memtable, and each successful memtable flush
+    /// truncates it. Replaces any previously attached log.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Mutable access to the attached write-ahead log (test harnesses arm
+    /// crash points through this).
+    pub fn wal_mut(&mut self) -> Option<&mut Wal> {
+        self.wal.as_mut()
+    }
+
+    /// True if the attached WAL simulated a process crash (fault
+    /// injection); a crashed tree's write path is dead.
+    pub fn wal_crashed(&self) -> bool {
+        self.wal.as_ref().is_some_and(Wal::is_crashed)
+    }
+
+    /// Syncs the attached WAL — the per-shard leg of a group-commit
+    /// barrier. Exactly one fsync is issued, and only when unacknowledged
+    /// records exist (an idle shard pays nothing), so a batch costs at
+    /// most one sync per shard. The fsync's virtual cost is charged to
+    /// this tree's storage time domain. Returns whether a sync was issued.
+    pub fn commit_wal(&mut self) -> std::io::Result<bool> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(false);
+        };
+        if wal.unsynced() == 0 || wal.is_crashed() {
+            return Ok(false);
+        }
+        wal.sync()?;
+        if wal.is_crashed() {
+            // The (simulated) process died during the sync: nothing was
+            // acknowledged and no cost accrues to a dead domain.
+            return Ok(false);
+        }
+        self.storage
+            .charge_cpu(self.storage.cost_model().wal_sync_ns);
+        Ok(true)
     }
 
     /// The tree's configuration.
@@ -92,24 +177,51 @@ impl FlsmTree {
     // Writes
     // ------------------------------------------------------------------
 
-    /// Inserts or overwrites a key.
+    /// Inserts or overwrites a key. With a WAL attached the write is
+    /// logged before it enters the memtable.
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
         self.seq += 1;
         self.updates += 1;
         self.storage
             .charge_cpu(self.storage.cost_model().cpu_memtable_ns);
-        self.memtable.insert(KvEntry::put(key, value, self.seq));
+        let e = KvEntry::put(key, value, self.seq);
+        self.log_write(&e);
+        self.memtable.insert(e);
         self.maybe_flush();
     }
 
-    /// Deletes a key (writes a tombstone).
+    /// Deletes a key (writes a tombstone). With a WAL attached the
+    /// tombstone is logged before it enters the memtable.
     pub fn delete(&mut self, key: impl Into<Key>) {
         self.seq += 1;
         self.updates += 1;
         self.storage
             .charge_cpu(self.storage.cost_model().cpu_memtable_ns);
-        self.memtable.insert(KvEntry::delete(key, self.seq));
+        let e = KvEntry::delete(key, self.seq);
+        self.log_write(&e);
+        self.memtable.insert(e);
         self.maybe_flush();
+    }
+
+    /// Appends one entry to the attached WAL (no-op without one), charging
+    /// the append — and any auto-sync the flush policy triggered — to this
+    /// tree's storage time domain.
+    fn log_write(&mut self, e: &KvEntry) {
+        let Some(wal) = &mut self.wal else {
+            return;
+        };
+        let syncs_before = wal.sync_count();
+        wal.append(e).expect("WAL append failed");
+        if wal.is_crashed() {
+            // Appends on a dead handle are no-ops; a dead process
+            // charges nothing to its time domain.
+            return;
+        }
+        let cost = self.storage.cost_model();
+        let ns = cost.wal_append_ns + (wal.sync_count() - syncs_before) * cost.wal_sync_ns;
+        if ns > 0 {
+            self.storage.charge_cpu(ns);
+        }
     }
 
     fn maybe_flush(&mut self) {
@@ -119,6 +231,8 @@ impl FlsmTree {
     }
 
     /// Flushes the memtable into Level 1 (index 0) regardless of fill.
+    /// The flushed run supersedes the WAL's contents, so an attached log
+    /// is truncated afterwards.
     pub fn flush(&mut self) {
         if self.memtable.is_empty() {
             return;
@@ -126,6 +240,9 @@ impl FlsmTree {
         let batch = self.memtable.drain_sorted();
         self.flushes += 1;
         self.admit_batch(0, batch);
+        if let Some(wal) = &mut self.wal {
+            wal.reset().expect("WAL reset failed");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -404,6 +521,9 @@ impl FlsmTree {
             flushes: self.flushes,
             clock_ns: domain_ns,
             busy_ns: domain_ns,
+            wal_appends: self.wal.as_ref().map_or(0, Wal::appended),
+            wal_syncs: self.wal.as_ref().map_or(0, Wal::sync_count),
+            wal_synced: self.wal.as_ref().map_or(0, Wal::durable_records),
             levels: self.level_stats.iter().map(LevelStats::snapshot).collect(),
         }
     }
@@ -844,6 +964,120 @@ mod tests {
         assert_eq!(t.policy(0), 4); // T = 4
         t.set_policy(0, 0);
         assert_eq!(t.policy(0), 1);
+    }
+
+    fn wal_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ruskey-tree-wal-{name}-{}", std::process::id()))
+    }
+
+    /// Writes are logged before the memtable insert: a tree dropped
+    /// without flushing recovers its synced writes from the WAL, replayed
+    /// in sequence order.
+    #[test]
+    fn recover_restores_synced_writes() {
+        let path = wal_path("recover");
+        let _ = std::fs::remove_file(&path);
+        let cfg = LsmConfig {
+            buffer_bytes: 1 << 20, // large: nothing flushes
+            size_ratio: 4,
+            ..LsmConfig::scaled_default()
+        };
+        {
+            let disk = SimulatedDisk::new(256, CostModel::FREE);
+            let mut t = FlsmTree::new(cfg.clone(), disk);
+            t.attach_wal(crate::wal::Wal::open(&path).unwrap());
+            for i in 0..50u64 {
+                t.put(key(i), val(i));
+            }
+            t.put(key(7), val(777)); // overwrite: replay must keep the latest
+            t.delete(key(9));
+            t.commit_wal().unwrap();
+            t.put(key(99), val(99)); // never synced: must not survive
+            drop(t); // process death: user-space WAL buffer is lost
+        }
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let mut r = FlsmTree::recover(cfg, disk, &path, 0).unwrap();
+        for i in 0..50u64 {
+            match i {
+                7 => assert_eq!(r.get(&key(7)), Some(val(777))),
+                9 => assert_eq!(r.get(&key(9)), None, "tombstone must replay"),
+                _ => assert_eq!(r.get(&key(i)), Some(val(i)), "key {i}"),
+            }
+        }
+        assert_eq!(r.get(&key(99)), None, "unsynced write resurfaced");
+        // The recovered tree keeps logging: a new write plus commit is
+        // durable across another restart.
+        r.put(key(100), val(100));
+        r.commit_wal().unwrap();
+        drop(r);
+        let disk = SimulatedDisk::new(256, CostModel::FREE);
+        let mut r2 = FlsmTree::recover(
+            LsmConfig {
+                buffer_bytes: 1 << 20,
+                size_ratio: 4,
+                ..LsmConfig::scaled_default()
+            },
+            disk,
+            &path,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r2.get(&key(100)), Some(val(100)));
+        assert_eq!(r2.get(&key(3)), Some(val(3)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A memtable flush supersedes the log: the WAL truncates, so replay
+    /// after a flush yields only post-flush writes.
+    #[test]
+    fn flush_truncates_the_wal() {
+        let path = wal_path("flush-reset");
+        let _ = std::fs::remove_file(&path);
+        let mut t = small_tree();
+        t.attach_wal(crate::wal::Wal::open(&path).unwrap());
+        for i in 0..50u64 {
+            t.put(key(i), val(i));
+        }
+        t.flush();
+        assert_eq!(t.wal().unwrap().records(), 0, "flush must reset the log");
+        t.put(key(1000), val(1000));
+        t.commit_wal().unwrap();
+        let replayed = crate::wal::Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "only the post-flush write is logged");
+        assert_eq!(t.stats().wal_appends, 51, "lifetime appends keep counting");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// WAL costs are charged to the tree's storage time domain: appends
+    /// and the group-commit sync advance the virtual clock.
+    #[test]
+    fn wal_costs_land_on_the_time_domain() {
+        let path = wal_path("costs");
+        let _ = std::fs::remove_file(&path);
+        let disk = SimulatedDisk::new(256, CostModel::NVME);
+        let cfg = LsmConfig {
+            buffer_bytes: 1 << 20,
+            size_ratio: 4,
+            ..LsmConfig::scaled_default()
+        };
+        let mut t = FlsmTree::new(cfg, disk);
+        t.attach_wal(crate::wal::Wal::open(&path).unwrap());
+        let base = t.storage().clock().now_ns();
+        t.put(key(1), val(1));
+        let after_put = t.storage().clock().now_ns();
+        assert_eq!(
+            after_put - base,
+            CostModel::NVME.cpu_memtable_ns + CostModel::NVME.wal_append_ns,
+            "put charges memtable + WAL append"
+        );
+        assert!(t.commit_wal().unwrap());
+        assert_eq!(
+            t.storage().clock().now_ns() - after_put,
+            CostModel::NVME.wal_sync_ns,
+            "group commit charges one sync"
+        );
+        assert!(!t.commit_wal().unwrap(), "idle shard must not re-sync");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,26 +1,64 @@
-//! Write-ahead log.
+//! Write-ahead log: the durability substrate of the engine's write path.
 //!
-//! A durability substrate orthogonal to the paper's evaluation (RocksDB
-//! provides one implicitly): every write is appended to an on-disk log
-//! before entering the memtable, and an interrupted process can replay the
-//! log to recover the buffered writes. Record format:
+//! Every put/delete is appended here *before* it enters the memtable
+//! ([`crate::FlsmTree`] owns an optional `Wal` and logs automatically), so
+//! the write buffer — the only volatile state between memtable flushes —
+//! can be reconstructed after a crash. Record format:
 //!
 //! ```text
 //! [len: u32] [crc32: u32] [seq: u64] [kind: u8] [klen: u16] [key] [value]
 //! ```
 //!
-//! Replay stops at the first corrupt or truncated record, recovering the
-//! longest valid prefix — the standard torn-write-tolerant behaviour.
+//! ## Durability contract
 //!
-//! Durability is governed by an explicit **flush policy**: by default
-//! appends only buffer in user space (a crash can lose everything since
-//! the last [`Wal::sync`]), while [`Wal::open_with_sync_every`] bounds the
-//! loss window to `n` records by fsyncing automatically every `n`
-//! appends. Callers batching at a coarser granularity (e.g. one mission)
-//! can instead call [`Wal::flush`] or [`Wal::sync`] at their boundary.
+//! Appends buffer in user space; the buffer reaches the file only at
+//! [`Wal::flush`] (process-crash safety) and becomes stable at
+//! [`Wal::sync`] (fsync — power-failure safety). Three policies layer on
+//! top:
+//!
+//! * **manual** ([`Wal::open`]): nothing is durable until the caller
+//!   syncs — the raw substrate for group commit;
+//! * **auto-sync** ([`Wal::open_with_sync_every`]): an fsync every `n`
+//!   appends bounds the loss window to `n - 1` records;
+//! * **group commit** (the sharded store): one [`Wal::sync`] per shard per
+//!   batch at a mission-level commit barrier, so the fsync cost is
+//!   amortized over the whole batch instead of paid per record.
+//!
+//! A record is *acknowledged* only once a sync covering it succeeds;
+//! [`Wal::durable_records`] counts exactly those. After a successful
+//! memtable flush the log's contents are superseded by the flushed run and
+//! [`Wal::reset`] truncates the file (which also clears the unsynced-window
+//! counter — a reset log has nothing left to lose).
+//!
+//! ## Recovery
+//!
+//! [`Wal::replay`] parses the longest valid prefix of a log file: it stops
+//! at the first record whose length field overruns the file (torn write)
+//! or whose CRC mismatches (corruption), and never panics on arbitrary
+//! bytes. [`Wal::recover`] additionally truncates the file back to that
+//! valid prefix — so later appends extend a clean log rather than trailing
+//! garbage — and returns a handle ready for appending. Replay order is
+//! pinned by the sequence numbers in the record headers; callers sort by
+//! `seq` before reinsertion so recovery is deterministic regardless of how
+//! the log was produced.
+//!
+//! Note the WAL protects the *write buffer* only: runs flushed to the
+//! [`ruskey_storage::Storage`] backend are that backend's durability
+//! concern (a manifest would extend recovery to the tree structure; the
+//! simulated backend is deliberately volatile).
+//!
+//! ## Crash injection
+//!
+//! For the crash-recovery test harness the log carries a built-in fault
+//! hook: [`Wal::arm_crash`] plants a [`CrashPoint`] that, once reached,
+//! simulates the process dying at that instant — the user-space buffer is
+//! discarded, and every later call on the handle becomes a no-op (a dead
+//! process issues no more I/O). [`CrashPoint::MidFlush`] additionally
+//! writes only half of the pending buffer first, producing the torn tail
+//! that replay must tolerate.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
@@ -41,15 +79,58 @@ fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Where in the WAL write path a simulated crash fires (test harness).
+///
+/// Each point models the process dying at a distinct instant relative to
+/// the durability boundary of one record or batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the record is even buffered: the write is lost entirely.
+    PreAppend,
+    /// After the record is buffered but before any flush/sync: the
+    /// user-space buffer dies with the process.
+    PostAppend,
+    /// Immediately after a successful fsync: the batch is durable, the
+    /// process dies before acknowledging further work.
+    PostSync,
+    /// In the middle of flushing the buffer to the file: only a prefix of
+    /// the buffered bytes reaches the disk — the torn-write case.
+    MidFlush,
+}
+
+/// An armed crash: fires when `point` is visited for the `after + 1`-th
+/// time.
+#[derive(Debug, Clone, Copy)]
+struct ArmedCrash {
+    point: CrashPoint,
+    after: u64,
+}
+
 /// An append-only write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: File,
+    /// User-space buffer: bytes appended but not yet written to the file.
+    /// Dies with the process — exactly the data a crash loses.
+    buf: Vec<u8>,
+    /// Records in the current log generation (file + buffer); zeroed by
+    /// [`Wal::reset`].
     records: u64,
     /// Auto-fsync every `n` appends; 0 = manual syncs only.
     sync_every: u64,
-    /// Records appended since the last fsync.
+    /// Records appended since the last successful fsync.
     unsynced: u64,
+    /// Lifetime appends through this handle (never reset).
+    total_appends: u64,
+    /// Lifetime successful fsyncs (never reset).
+    syncs: u64,
+    /// Lifetime records covered by a successful fsync (never reset).
+    durable: u64,
+    /// Armed fault-injection point, if any.
+    crash: Option<ArmedCrash>,
+    /// True once a simulated crash fired: the handle is "dead" and every
+    /// operation is a no-op.
+    crashed: bool,
 }
 
 impl Wal {
@@ -68,56 +149,145 @@ impl Wal {
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Self {
             path,
-            writer: BufWriter::new(file),
+            file,
+            buf: Vec::new(),
             records: 0,
             sync_every,
             unsynced: 0,
+            total_appends: 0,
+            syncs: 0,
+            durable: 0,
+            crash: None,
+            crashed: false,
         })
+    }
+
+    /// Recovers a log: parses the longest valid prefix of the file at
+    /// `path`, truncates the file back to that prefix (dropping any torn
+    /// tail so future appends extend a clean log), and returns the parsed
+    /// records alongside a handle open for appending. The records are
+    /// counted as durable — they were read back from the disk.
+    pub fn recover(
+        path: impl AsRef<Path>,
+        sync_every: u64,
+    ) -> std::io::Result<(Self, Vec<KvEntry>)> {
+        let path = path.as_ref();
+        let (records, valid_bytes) = Self::replay_prefix(path)?;
+        match OpenOptions::new().write(true).open(path) {
+            Ok(f) => {
+                if f.metadata()?.len() > valid_bytes {
+                    f.set_len(valid_bytes)?;
+                    f.sync_data()?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut wal = Self::open_with_sync_every(path, sync_every)?;
+        wal.records = records.len() as u64;
+        wal.durable = records.len() as u64;
+        Ok((wal, records))
     }
 
     /// Appends one entry. Durability follows the flush policy: with
     /// auto-sync configured the append fsyncs once the cadence is
     /// reached, otherwise it only buffers until [`Wal::flush`]/[`Wal::sync`].
     pub fn append(&mut self, e: &KvEntry) -> std::io::Result<()> {
+        if self.crashed {
+            return Ok(());
+        }
+        if self.hit(CrashPoint::PreAppend) {
+            // Process death before buffering: every unflushed byte dies.
+            self.buf.clear();
+            return Ok(());
+        }
         let mut body = Vec::with_capacity(11 + e.key.len() + e.value.len());
         body.extend_from_slice(&e.seq.to_le_bytes());
         body.push(e.kind.to_byte());
         body.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
         body.extend_from_slice(&e.key);
         body.extend_from_slice(&e.value);
-        self.writer.write_all(&(body.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&crc32(&body).to_le_bytes())?;
-        self.writer.write_all(&body)?;
+        self.buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        self.buf.extend_from_slice(&body);
         self.records += 1;
         self.unsynced += 1;
+        self.total_appends += 1;
+        if self.hit(CrashPoint::PostAppend) {
+            // Process death after buffering: the buffer (this record
+            // included) dies with the process.
+            self.buf.clear();
+            return Ok(());
+        }
         if self.sync_every > 0 && self.unsynced >= self.sync_every {
             self.sync()?;
         }
         Ok(())
     }
 
-    /// Flushes buffered records to the OS without forcing them to stable
+    /// Flushes buffered records to the file without forcing them to stable
     /// storage — the cheap mission-boundary policy: survives a process
     /// crash, not a power failure. Deliberately does *not* reset the
     /// auto-sync cadence, so the `sync_every` power-failure bound holds
     /// however often callers flush.
     pub fn flush(&mut self) -> std::io::Result<()> {
-        self.writer.flush()
+        if self.crashed {
+            return Ok(());
+        }
+        self.flush_buf()
     }
 
-    /// Flushes buffered records and fsyncs the file. The loss-window
-    /// counter resets only once the fsync *succeeds* — a failed sync
-    /// leaves `unsynced()` (and the auto-sync cadence) honest.
+    /// Flushes buffered records and fsyncs the file — the group-commit
+    /// primitive: one call makes every record appended so far durable
+    /// (acknowledged). The loss-window counter resets only once the fsync
+    /// *succeeds* — a failed sync leaves `unsynced()` (and the auto-sync
+    /// cadence) honest.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        if self.crashed {
+            return Ok(());
+        }
+        self.flush_buf()?;
+        if self.crashed {
+            // A MidFlush crash fired inside the flush: the sync never
+            // completed, so no record becomes acknowledged.
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        self.syncs += 1;
+        self.durable += self.unsynced;
         self.unsynced = 0;
+        self.hit(CrashPoint::PostSync);
         Ok(())
     }
 
-    /// Number of records appended through this handle.
-    pub fn appended(&self) -> u64 {
+    /// Writes the user-space buffer to the file, honoring an armed
+    /// [`CrashPoint::MidFlush`]: the crash writes only the first half of
+    /// the pending bytes (a torn write) before the process "dies".
+    fn flush_buf(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.hit(CrashPoint::MidFlush) {
+            let half = self.buf.len() / 2;
+            self.file.write_all(&self.buf[..half])?;
+            self.buf.clear();
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Number of records appended in the current log generation (since
+    /// open or the last [`Wal::reset`]).
+    pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Lifetime number of records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.total_appends
     }
 
     /// Records appended since the last fsync — the current power-failure
@@ -126,32 +296,94 @@ impl Wal {
         self.unsynced
     }
 
-    /// Truncates the log (after a successful memtable flush).
+    /// Lifetime number of successful fsyncs through this handle — the
+    /// group-commit cost counter (≤ 1 per shard per batch under the
+    /// mission barrier).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Lifetime number of records that have exited the loss window — the
+    /// acknowledged write count: covered by a successful fsync, or
+    /// superseded by a memtable flush (the flushed run persists them, so
+    /// [`Wal::reset`] resolves them too).
+    pub fn durable_records(&self) -> u64 {
+        self.durable
+    }
+
+    /// Truncates the log (after a successful memtable flush): the flushed
+    /// run supersedes the logged records, so both the file and the
+    /// user-space buffer are discarded and the unsynced window resets to
+    /// zero — a reset log has nothing left to lose.
     pub fn reset(&mut self) -> std::io::Result<()> {
-        self.writer.flush()?;
+        if self.crashed {
+            return Ok(());
+        }
+        self.buf.clear();
+        // Records still in the loss window are superseded by the flushed
+        // run: they leave the window as acknowledged, not as lost.
+        self.durable += self.unsynced;
         let file = OpenOptions::new()
             .write(true)
             .truncate(true)
             .open(&self.path)?;
-        self.writer = BufWriter::new(
-            OpenOptions::new()
-                .append(true)
-                .open(&self.path)
-                .unwrap_or(file),
-        );
+        file.sync_data()?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.records = 0;
         self.unsynced = 0;
         Ok(())
     }
 
+    /// Arms a simulated crash: the `after + 1`-th visit of `point` kills
+    /// this handle (discarding the user-space buffer, as process death
+    /// would). Test-harness hook; a production store never arms one.
+    pub fn arm_crash(&mut self, point: CrashPoint, after: u64) {
+        self.crash = Some(ArmedCrash { point, after });
+    }
+
+    /// True once an armed crash has fired: the handle is dead and every
+    /// operation is a no-op. Counters keep reporting the pre-crash state
+    /// of the (simulated) process.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Visits a crash point: decrements an armed countdown and, when it
+    /// fires, kills the handle. Returns true if the crash fired *now*.
+    fn hit(&mut self, point: CrashPoint) -> bool {
+        match self.crash {
+            Some(ref mut armed) if armed.point == point => {
+                if armed.after > 0 {
+                    armed.after -= 1;
+                    false
+                } else {
+                    self.crash = None;
+                    self.crashed = true;
+                    // The caller discards the user-space buffer (MidFlush
+                    // half-writes it first, so the clear cannot live here).
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
     /// Replays a log file, returning the longest valid prefix of records.
+    /// Never panics on arbitrary bytes: parsing stops at the first
+    /// truncated or checksum-failing record.
     pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<KvEntry>> {
+        Self::replay_prefix(path).map(|(records, _)| records)
+    }
+
+    /// [`Wal::replay`] plus the byte length of the valid prefix, so
+    /// recovery can truncate a torn tail before appending again.
+    pub fn replay_prefix(path: impl AsRef<Path>) -> std::io::Result<(Vec<KvEntry>, u64)> {
         let mut data = Vec::new();
         match File::open(path.as_ref()) {
             Ok(mut f) => {
                 f.read_to_end(&mut data)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e),
         }
         let mut out = Vec::new();
@@ -186,7 +418,7 @@ impl Wal {
             });
             off = end;
         }
-        Ok(out)
+        Ok((out, off as u64))
     }
 }
 
@@ -218,6 +450,9 @@ mod tests {
             wal.append(&e("c", "3", 3)).unwrap();
             wal.sync().unwrap();
             assert_eq!(wal.appended(), 3);
+            assert_eq!(wal.records(), 3);
+            assert_eq!(wal.sync_count(), 1);
+            assert_eq!(wal.durable_records(), 3);
         }
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 3);
@@ -279,12 +514,41 @@ mod tests {
         wal.append(&e("a", "1", 1)).unwrap();
         wal.sync().unwrap();
         wal.reset().unwrap();
-        assert_eq!(wal.appended(), 0);
+        assert_eq!(wal.records(), 0);
         wal.append(&e("z", "9", 9)).unwrap();
         wal.sync().unwrap();
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].key.as_ref(), b"z");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Pins the reset invariant: truncating the log clears the unsynced
+    /// loss window (a reset log has nothing left to lose), while the
+    /// lifetime counters keep accumulating.
+    #[test]
+    fn reset_clears_unsynced_window() {
+        let path = tmp("reset-unsynced");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open_with_sync_every(&path, 8).unwrap();
+        for i in 1..=5u64 {
+            wal.append(&e(&format!("k{i}"), "v", i)).unwrap();
+        }
+        assert_eq!(wal.unsynced(), 5);
+        wal.reset().unwrap();
+        assert_eq!(wal.unsynced(), 0, "reset must clear the loss window");
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.appended(), 5, "lifetime appends survive reset");
+        // The auto-sync cadence restarts from a clean window: the next
+        // sync happens 8 appends after the reset, not 3.
+        for i in 6..=12u64 {
+            wal.append(&e(&format!("k{i}"), "v", i)).unwrap();
+        }
+        assert_eq!(wal.unsynced(), 7, "no premature auto-sync after reset");
+        assert_eq!(wal.sync_count(), 0);
+        wal.append(&e("k13", "v", 13)).unwrap();
+        assert_eq!(wal.unsynced(), 0, "cadence of 8 reached");
+        assert_eq!(wal.sync_count(), 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -294,8 +558,8 @@ mod tests {
         assert_eq!(crc32(b""), 0);
     }
 
-    /// Simulates a crash: the writer is leaked so its `BufWriter` never
-    /// flushes on drop, exactly like a process dying mid-append.
+    /// Simulates a crash: the handle is leaked so its user-space buffer
+    /// is never flushed, exactly like a process dying mid-append.
     fn crash(wal: Wal) {
         std::mem::forget(wal);
     }
@@ -313,6 +577,8 @@ mod tests {
             // 10 sit in the loss window.
             assert_eq!(wal.appended(), 10);
             assert_eq!(wal.unsynced(), 2);
+            assert_eq!(wal.sync_count(), 2);
+            assert_eq!(wal.durable_records(), 8);
             crash(wal);
         }
         let replayed = Wal::replay(&path).unwrap();
@@ -398,6 +664,137 @@ mod tests {
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 2, "torn third record must be dropped");
         assert_eq!(replayed[1].seq, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-point fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pre_append_crash_loses_the_record_and_kills_the_handle() {
+        let path = tmp("crash-preappend");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&e("a", "1", 1)).unwrap();
+        wal.sync().unwrap();
+        wal.arm_crash(CrashPoint::PreAppend, 0);
+        wal.append(&e("b", "2", 2)).unwrap(); // fires: record never buffered
+        assert!(wal.is_crashed());
+        // Dead handle: everything is a no-op.
+        wal.append(&e("c", "3", 3)).unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn post_append_crash_discards_the_buffer() {
+        let path = tmp("crash-postappend");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&e("a", "1", 1)).unwrap();
+        wal.sync().unwrap();
+        wal.arm_crash(CrashPoint::PostAppend, 1);
+        wal.append(&e("b", "2", 2)).unwrap(); // countdown: 1 -> 0
+        wal.append(&e("c", "3", 3)).unwrap(); // fires: b and c die in the buffer
+        assert!(wal.is_crashed());
+        assert_eq!(
+            Wal::replay(&path).unwrap().len(),
+            1,
+            "only the synced record"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn post_sync_crash_keeps_the_batch_durable() {
+        let path = tmp("crash-postsync");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&e("a", "1", 1)).unwrap();
+        wal.append(&e("b", "2", 2)).unwrap();
+        wal.arm_crash(CrashPoint::PostSync, 0);
+        wal.sync().unwrap(); // batch committed, then the process dies
+        assert!(wal.is_crashed());
+        assert_eq!(wal.durable_records(), 2, "the sync completed first");
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_flush_crash_tears_the_tail_but_keeps_a_prefix() {
+        let path = tmp("crash-midflush");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&e("a", "1", 1)).unwrap();
+        wal.sync().unwrap();
+        for i in 2..=9u64 {
+            wal.append(&e(&format!("key-{i}"), "some-value", i))
+                .unwrap();
+        }
+        wal.arm_crash(CrashPoint::MidFlush, 0);
+        wal.sync().unwrap(); // torn: only half the batch bytes hit the file
+        assert!(wal.is_crashed());
+        assert_eq!(
+            wal.durable_records(),
+            1,
+            "the torn sync acknowledged nothing"
+        );
+        let replayed = Wal::replay(&path).unwrap();
+        // Replay yields a strict prefix: at least the previously synced
+        // record, fewer than the full batch, all in order.
+        assert!(
+            !replayed.is_empty() && replayed.len() < 9,
+            "{}",
+            replayed.len()
+        );
+        for (i, r) in replayed.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1, "prefix order broken");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn recover_truncates_torn_tail_and_appends_cleanly() {
+        let path = tmp("recover-torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 1..=3u64 {
+                wal.append(&e(&format!("key-{i}"), "value", i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Tear the third record.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        let (mut wal, records) = Wal::recover(&path, 0).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(wal.records(), 2);
+        assert_eq!(wal.durable_records(), 2);
+        // Appending after recovery extends a clean log: all records replay.
+        wal.append(&e("key-4", "value", 4)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2].seq, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_missing_file_starts_empty() {
+        let path = tmp("recover-missing");
+        let _ = std::fs::remove_file(&path);
+        let (wal, records) = Wal::recover(&path, 0).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(wal.records(), 0);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -20,6 +20,12 @@ pub struct CostModel {
     pub cpu_merge_per_key_ns: u64,
     /// CPU nanoseconds per entry inserted into the memtable.
     pub cpu_memtable_ns: u64,
+    /// Virtual nanoseconds to append one record to the write-ahead log
+    /// (user-space buffering + serialization).
+    pub wal_append_ns: u64,
+    /// Virtual nanoseconds for one WAL fsync — the group-commit unit cost,
+    /// amortized over the batch by syncing once per shard per batch.
+    pub wal_sync_ns: u64,
 }
 
 impl CostModel {
@@ -31,6 +37,8 @@ impl CostModel {
         cpu_probe_ns: 500,
         cpu_merge_per_key_ns: 200,
         cpu_memtable_ns: 150,
+        wal_append_ns: 250,
+        wal_sync_ns: 30_000,
     };
 
     /// A SATA-SSD-like profile (slower pages, same CPU costs).
@@ -40,6 +48,8 @@ impl CostModel {
         cpu_probe_ns: 500,
         cpu_merge_per_key_ns: 200,
         cpu_memtable_ns: 150,
+        wal_append_ns: 250,
+        wal_sync_ns: 120_000,
     };
 
     /// A profile where CPU dominates I/O, as reported by Zhu et al. for
@@ -50,6 +60,8 @@ impl CostModel {
         cpu_probe_ns: 2_500,
         cpu_merge_per_key_ns: 800,
         cpu_memtable_ns: 400,
+        wal_append_ns: 400,
+        wal_sync_ns: 6_000,
     };
 
     /// A free cost model: no virtual time accrues (pure counting mode).
@@ -59,6 +71,8 @@ impl CostModel {
         cpu_probe_ns: 0,
         cpu_merge_per_key_ns: 0,
         cpu_memtable_ns: 0,
+        wal_append_ns: 0,
+        wal_sync_ns: 0,
     };
 }
 
@@ -88,5 +102,13 @@ mod tests {
         assert!(profiles[1].read_page_ns > profiles[0].read_page_ns);
         assert!(profiles[2].cpu_probe_ns > profiles[2].read_page_ns / 2);
         assert_eq!(profiles[3].read_page_ns, 0);
+        // WAL costs: an fsync dwarfs a buffered append on every real
+        // device (that gap is what group commit amortizes); FREE charges
+        // nothing.
+        for p in &profiles[..3] {
+            assert!(p.wal_sync_ns > 10 * p.wal_append_ns);
+        }
+        assert_eq!(profiles[3].wal_append_ns, 0);
+        assert_eq!(profiles[3].wal_sync_ns, 0);
     }
 }

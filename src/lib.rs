@@ -24,6 +24,35 @@
 //! used by all paper experiments; `tests/sharded_equivalence.rs` asserts
 //! the two are observationally equivalent and `tests/time_domains.rs`
 //! asserts per-shard accounting exactness at `N ∈ {2, 4}`.
+//!
+//! # Durability & recovery
+//!
+//! The write path is durable: each shard owns a write-ahead log
+//! ([`lsm::Wal`]) to which every put/delete is appended *before* the
+//! memtable insert, truncated whenever a memtable flush supersedes it.
+//! Per-record fsyncs would dominate write cost, so the sharded store
+//! instead runs a **cross-shard group commit**: every mission ends with a
+//! commit barrier ([`ruskey::sharded::ShardedRusKey::group_commit`]) that
+//! fsyncs each shard's log at most once, acknowledging the whole batch
+//! per shard with a single sync. The durability traffic and its cost are
+//! first-class metrics — WAL appends, fsyncs, acknowledged records, and
+//! barrier latency flow through [`lsm::TreeStatsSnapshot`] into
+//! [`ruskey::stats::MissionReport`] (and the `repro durability` JSON),
+//! and WAL I/O is charged to the owning shard's time domain via the
+//! [`storage::CostModel`] WAL constants.
+//!
+//! The recovery contract: after a crash,
+//! [`ruskey::sharded::ShardedRusKey::recover`] (or
+//! [`lsm::FlsmTree::recover`] for one tree) replays each shard's log —
+//! the longest valid prefix, tolerating torn tails and corruption, with
+//! replay order pinned by the record sequence numbers — rebuilding
+//! exactly the acknowledged write-buffer state. Runs already flushed to
+//! [`storage::Storage`] are the backend's durability concern (the
+//! simulated disk is deliberately volatile). `tests/crash_recovery.rs`
+//! pins the contract with a [`lsm::CrashPoint`] fault-injection harness
+//! (pre-append, post-append, post-sync, and torn mid-flush crashes at
+//! `N ∈ {1, 2, 4}`), a recovered-store-equals-durable-prefix proptest,
+//! and a WAL replay fuzz test.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

@@ -160,7 +160,6 @@ fn arb_snapshot() -> impl Strategy<Value = TreeStatsSnapshot> {
                 lookups,
                 updates,
                 scans,
-                flushes: 0,
                 clock_ns: clock,
                 busy_ns: clock,
                 levels: levels
@@ -173,6 +172,7 @@ fn arb_snapshot() -> impl Strategy<Value = TreeStatsSnapshot> {
                         },
                     )
                     .collect(),
+                ..Default::default()
             },
         )
 }
