@@ -292,17 +292,24 @@ fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Opt
     println!("== Shard scaling: throughput vs shard count (balanced workload) ==");
     let rows = shard_scaling(scale, &[1, 2, 4, 8]);
     println!(
-        "{:<8}{:>12}{:>14}{:>20}{:>20}{:>10}",
-        "shards", "wall (s)", "kops/s", "v-wall ns/op (max)", "v-busy ns/op (sum)", "threads"
+        "{:<8}{:>12}{:>14}{:>20}{:>20}{:>16}{:>10}",
+        "shards",
+        "wall (s)",
+        "kops/s",
+        "v-wall ns/op (max)",
+        "v-busy ns/op (sum)",
+        "real µs/mission",
+        "threads"
     );
     for r in &rows {
         println!(
-            "{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>10}",
+            "{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>16.1}{:>10}",
             r.shards,
             r.wall_s,
             r.kops_per_s,
             r.virtual_wall_ns_per_op,
             r.virtual_busy_ns_per_op,
+            r.real_us_per_mission,
             r.parallelism
         );
     }
@@ -321,19 +328,20 @@ fn run_durability(scale: &ExperimentScale, scale_label: &str, json_path: &Option
     println!("== Durability: WAL + cross-shard group commit ==");
     let rows = durability(scale, &[1, 2, 4]);
     println!(
-        "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12}{:>22}{:>8}",
+        "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12}{:>22}{:>22}{:>8}",
         "shards",
         "acked ops",
         "synced ops",
         "appends",
         "fsyncs",
         "batch",
-        "commit ns/mission",
+        "commit ns (max)",
+        "commit ns (seq sum)",
         "ok"
     );
     for r in &rows {
         println!(
-            "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12.1}{:>22.1}{:>8}",
+            "{:<8}{:>12}{:>14}{:>12}{:>12}{:>12.1}{:>22.1}{:>22.1}{:>8}",
             r.shards,
             r.acknowledged_ops,
             r.synced_ops,
@@ -341,6 +349,7 @@ fn run_durability(scale: &ExperimentScale, scale_label: &str, json_path: &Option
             r.wal_syncs,
             r.mean_batch,
             r.commit_ns_per_mission,
+            r.commit_busy_ns_per_mission,
             r.ok
         );
     }

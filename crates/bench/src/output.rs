@@ -87,7 +87,8 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
         out.push_str(&format!(
             "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"wall_s\": {:.6}, \
              \"kops_per_s\": {:.3}, \"virtual_wall_ns_per_op\": {:.1}, \
-             \"virtual_busy_ns_per_op\": {:.1}, \"parallelism\": {}}}{}\n",
+             \"virtual_busy_ns_per_op\": {:.1}, \"real_us_per_mission\": {:.1}, \
+             \"parallelism\": {}}}{}\n",
             r.shards,
             r.missions,
             r.ops_total,
@@ -95,6 +96,7 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
             r.kops_per_s,
             r.virtual_wall_ns_per_op,
             r.virtual_busy_ns_per_op,
+            r.real_us_per_mission,
             r.parallelism,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -105,10 +107,13 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
 
 /// Renders the durability experiment as machine-readable JSON. Each row
 /// carries the group-commit accounting (`synced_ops` vs
-/// `acknowledged_ops`, fsync counts, batch size) plus a per-row `ok`
-/// verdict; the top-level `durability_ok` is the conjunction, which CI
-/// greps as a smoke check (synced ops ≥ acknowledged ops, ≤ 1 sync per
-/// shard per batch, exact replay on recovery).
+/// `acknowledged_ops`, fsync counts, batch size, both commit
+/// compositions) plus a per-row `ok` verdict; the top-level
+/// `durability_ok` is the conjunction, which CI greps as a smoke check
+/// (synced ops ≥ acknowledged ops, ≤ 1 sync per shard per batch, exact
+/// replay on recovery). `overlap_ok` is the overlapped-barrier bound on
+/// its own: every row's `commit_ns_per_mission` (max over concurrent
+/// legs) stayed ≤ `commit_busy_ns_per_mission` (the sequential sum).
 pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"durability\",\n");
@@ -117,13 +122,19 @@ pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
         "  \"durability_ok\": {},\n",
         rows.iter().all(|r| r.ok)
     ));
+    out.push_str(&format!(
+        "  \"overlap_ok\": {},\n",
+        rows.iter()
+            .all(|r| r.commit_ns_per_mission <= r.commit_busy_ns_per_mission + 1e-9)
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \
              \"acknowledged_ops\": {}, \"synced_ops\": {}, \"wal_appends\": {}, \
              \"wal_syncs\": {}, \"mean_batch\": {:.2}, \
-             \"commit_ns_per_mission\": {:.1}, \"recovered_records\": {}, \
+             \"commit_ns_per_mission\": {:.1}, \
+             \"commit_busy_ns_per_mission\": {:.1}, \"recovered_records\": {}, \
              \"ok\": {}}}{}\n",
             r.shards,
             r.missions,
@@ -134,6 +145,7 @@ pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
             r.wal_syncs,
             r.mean_batch,
             r.commit_ns_per_mission,
+            r.commit_busy_ns_per_mission,
             r.recovered_records,
             r.ok,
             if i + 1 < rows.len() { "," } else { "" },
@@ -232,6 +244,7 @@ mod tests {
                 kops_per_s: 2.0,
                 virtual_wall_ns_per_op: 12345.6,
                 virtual_busy_ns_per_op: 12345.6,
+                real_us_per_mission: 800.0,
                 parallelism: 1,
             },
             ShardScalingRow {
@@ -242,6 +255,7 @@ mod tests {
                 kops_per_s: 5.0,
                 virtual_wall_ns_per_op: 4000.2,
                 virtual_busy_ns_per_op: 13000.8,
+                real_us_per_mission: 350.0,
                 parallelism: 4,
             },
         ];
@@ -251,6 +265,7 @@ mod tests {
         // Both time compositions are named explicitly in every row.
         assert_eq!(json.matches("\"virtual_wall_ns_per_op\":").count(), 2);
         assert_eq!(json.matches("\"virtual_busy_ns_per_op\":").count(), 2);
+        assert_eq!(json.matches("\"real_us_per_mission\":").count(), 2);
         // Exactly one comma between the two row objects, none trailing.
         assert_eq!(json.matches("}},").count(), 0);
         assert_eq!(json.matches("},\n").count(), 1);
@@ -258,6 +273,33 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn durability_json_reports_both_commit_compositions() {
+        let row = |shards: usize, commit: f64, busy: f64| DurabilityRow {
+            shards,
+            missions: 5,
+            ops_total: 500,
+            acknowledged_ops: 200,
+            wal_appends: 200,
+            wal_syncs: 10,
+            synced_ops: 200,
+            mean_batch: 20.0,
+            commit_ns_per_mission: commit,
+            commit_busy_ns_per_mission: busy,
+            recovered_records: 0,
+            ok: true,
+        };
+        let json = durability_json("tiny", &[row(1, 50.0, 50.0), row(4, 80.0, 200.0)]);
+        assert!(json.contains("\"durability_ok\": true"));
+        assert!(json.contains("\"overlap_ok\": true"));
+        assert_eq!(json.matches("\"commit_ns_per_mission\":").count(), 2);
+        assert_eq!(json.matches("\"commit_busy_ns_per_mission\":").count(), 2);
+        // A row whose overlapped latency exceeds the sequential sum flips
+        // the overlap verdict (the barrier max can never beat the sum).
+        let bad = durability_json("tiny", &[row(4, 300.0, 200.0)]);
+        assert!(bad.contains("\"overlap_ok\": false"));
     }
 
     #[test]

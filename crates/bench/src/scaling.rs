@@ -34,6 +34,10 @@ pub struct ShardScalingRow {
     /// the sum over the shard time domains' deltas — the total virtual
     /// work placed on the shared device.
     pub virtual_busy_ns_per_op: f64,
+    /// Mean real wall-clock time per mission (µs) — the spawn-amortization
+    /// column: with the persistent worker pool this carries no per-mission
+    /// thread spawn/teardown, only dispatch and execution.
+    pub real_us_per_mission: f64,
     /// Maximum distinct OS worker threads observed in one mission.
     pub parallelism: usize,
 }
@@ -63,6 +67,7 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
             let mut ops_total = 0u64;
             let mut wall_ns = 0u64;
             let mut busy_ns = 0u64;
+            let mut real_ns = 0u64;
             let mut parallelism = 0usize;
             let t0 = Instant::now();
             for ops in &missions {
@@ -91,6 +96,7 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 ops_total += report.ops;
                 wall_ns += report.end_to_end_ns;
                 busy_ns += report.device_busy_ns;
+                real_ns += report.real_process_ns;
                 parallelism = parallelism.max(db.last_parallelism());
             }
             let wall_s = t0.elapsed().as_secs_f64();
@@ -102,6 +108,7 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 kops_per_s: ops_total as f64 / wall_s.max(1e-9) / 1e3,
                 virtual_wall_ns_per_op: wall_ns as f64 / ops_total.max(1) as f64,
                 virtual_busy_ns_per_op: busy_ns as f64 / ops_total.max(1) as f64,
+                real_us_per_mission: real_ns as f64 / scale.missions.max(1) as f64 / 1e3,
                 parallelism,
             }
         })
@@ -137,6 +144,10 @@ mod tests {
         assert!(rows
             .iter()
             .all(|r| r.kops_per_s > 0.0 && r.virtual_wall_ns_per_op > 0.0));
+        assert!(
+            rows.iter().all(|r| r.real_us_per_mission > 0.0),
+            "spawn-amortization column must be populated"
+        );
         // Wall never exceeds busy; they coincide at one shard.
         for r in &rows {
             assert!(r.virtual_wall_ns_per_op <= r.virtual_busy_ns_per_op + 1e-9);

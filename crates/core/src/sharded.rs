@@ -3,9 +3,10 @@
 //! [`ShardedRusKey`] scales the single-tree [`RusKey`](crate::db::RusKey)
 //! across cores: keys are hash-partitioned onto `N` independent
 //! [`FlsmTree`] shards (each with its own memtable and levels) that share
-//! one storage device, and missions execute in parallel with
-//! [`std::thread::scope`] — one worker per shard, operations routed by the
-//! stable key hash of [`ruskey_workload::routing`]. Cross-shard range
+//! one storage device, and missions execute in parallel on a **persistent
+//! worker pool** — one long-lived OS thread per shard, spawned once at
+//! construction and reused for every mission, with operations routed by
+//! the stable key hash of [`ruskey_workload::routing`]. Cross-shard range
 //! scans are k-way merged back into one sorted result.
 //!
 //! Tuning stays *global*, exactly as in the paper: per-shard
@@ -15,16 +16,49 @@
 //! to every shard. A one-shard store is behaviourally identical to
 //! [`RusKey`](crate::db::RusKey) — all paper experiments remain valid.
 //!
+//! ## The worker pool: lifecycle, shutdown, panic policy
+//!
+//! Each shard owns one worker thread (named `ruskey-shard-<i>`) with a
+//! private job queue, spawned when the store is constructed and alive
+//! until it drops — thread spawn cost is paid once, not once per mission,
+//! and `tests/pool_stress.rs` pins that the same OS threads serve
+//! consecutive missions. Trees move, they are not shared: between
+//! missions every [`FlsmTree`] lives on the store (so the plain KV
+//! interface, introspection, and test harnesses keep direct access);
+//! dispatching a job sends the tree into the shard's worker, and the
+//! reply returns it. Exactly one side owns a tree at any instant, so no
+//! locks guard the hot path. `N = 1` runs through the same pool code
+//! path as any other shard count — there is no inline special case to
+//! drift from the parallel one.
+//!
+//! **Shutdown**: dropping the store closes every job queue; each worker's
+//! receive loop ends and the threads are joined (a drop never leaves
+//! detached threads behind).
+//!
+//! **Panics**: a panicking worker (an engine bug — or the
+//! `inject_worker_panic` test hook) unwinds through its run loop: the
+//! in-flight tree and the shard's queue die with the thread, the dropped
+//! reply channel surfaces as [`MissionError::WorkerPanicked`] on the
+//! mission thread (never a hang), and every later dispatch fails fast
+//! with [`MissionError::WorkerUnavailable`] *before* enqueuing anything —
+//! the engine is permanently dead, it does not limp on with a missing
+//! shard. One caveat is inherent to fan-out dispatch: the single dispatch
+//! that *discovers* the death may already have enqueued sibling shards'
+//! jobs, so those lanes execute (and, on a durable store, commit) — a
+//! partially applied batch, which is why a failed store must be rebuilt
+//! via [`ShardedRusKey::recover`] rather than retried in place.
+//! [`ShardedRusKey::run_mission`] converts these errors into a panic with
+//! the shard named; [`ShardedRusKey::try_run_mission`] returns them.
+//!
 //! ## Time domains: exact accounting under parallelism
 //!
 //! Each shard owns a private **time domain**: its tree runs on a
 //! [`ShardStorage`](ruskey_storage::ShardStorage) view whose
 //! [`VirtualClock`](ruskey_storage::VirtualClock) and metrics receive only
 //! that shard's charges, while the shared device underneath aggregates
-//! everything (device-busy time). Per-level `lookup_ns`/`compact_ns`
-//! windows therefore observe exactly one shard's work at any `N` —
-//! concurrent siblings can no longer pollute the attribution the RL
-//! reward depends on. At the store level the domains compose two ways:
+//! everything (device-busy time). The domain belongs to the view, not to
+//! a thread, so charges are exact no matter which pool thread currently
+//! owns the tree. At the store level the domains compose two ways:
 //!
 //! * **mission wall time** ([`MissionReport::end_to_end_ns`]) — the max
 //!   over the participating shards' per-domain deltas (the mission is as
@@ -38,33 +72,41 @@
 //! (as they always have); broadcast scans among them are tracked so the
 //! report still counts every scan logically once.
 //!
-//! ## Durability: per-shard WALs + cross-shard group commit
+//! ## Durability: per-shard WALs + an overlapped group-commit barrier
 //!
 //! A store opened with [`ShardedRusKey::try_with_tuner_durable`] gives
 //! every shard its own WAL file ([`DurabilityConfig::shard_wal_path`]):
 //! shard workers append each put/delete to their log *before* the
-//! memtable insert, without syncing per record. Every mission then ends
-//! with a **group-commit barrier** ([`ShardedRusKey::group_commit`]) that
-//! fsyncs each shard's log at most once — the batch's records become
-//! acknowledged together, paying one sync per shard per mission instead
-//! of one per record. The barrier's cost and counters surface through
-//! [`MissionReport::{wal_appends, wal_syncs, wal_synced, commit_ns}`] and
-//! `TreeStatsSnapshot`, so the tuner and the `repro durability`
-//! experiment see exactly what durability costs. After a crash,
+//! memtable insert, without syncing per record. Every mission ends with a
+//! **group-commit barrier**: each worker runs its shard's commit leg
+//! ([`FlsmTree::commit_wal_timed`] — at most one fsync) as soon as its
+//! lane finishes, so the per-shard fsyncs run *concurrently* instead of
+//! sequentially on the mission thread. The batch's records become
+//! acknowledged together at one sync per shard per mission, and the
+//! barrier costs the max over the shards' legs, not their sum:
+//! [`MissionReport::commit_ns`] is that max (the batch's durability
+//! latency), [`MissionReport::commit_busy_ns`] the sum (the total sync
+//! work, what a sequential barrier would have paid). A shard that crashes
+//! mid-leg does not stop its siblings' fsyncs — their batches commit, and
+//! the crash harness pins exactly which shards' records became durable.
+//! Outside missions, [`ShardedRusKey::group_commit`] runs the same
+//! overlapped barrier on demand. After a crash,
 //! [`ShardedRusKey::recover`] replays every shard's log (valid prefix
 //! only, order pinned by record sequence numbers) into fresh trees;
 //! `tests/crash_recovery.rs` pins the recovery contract at every
 //! [`ruskey_lsm::CrashPoint`] for `N ∈ {1, 2, 4}`.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle, ThreadId};
 use std::time::Instant;
 
 use bytes::Bytes;
 use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot, Wal};
 use ruskey_storage::{ShardStorage, Storage};
-use ruskey_workload::routing::{partition_ops, shard_for_key};
+use ruskey_workload::routing::{partition_ops_owned, shard_for_key};
 use ruskey_workload::Operation;
 
 use crate::db::{execute_op, RusKeyConfig};
@@ -147,23 +189,288 @@ impl From<std::io::Error> for OpenError {
     }
 }
 
-/// An RL-tuned key-value store over `N` hash-partitioned FLSM shards.
+/// Why the worker pool could not execute a mission or commit barrier.
+///
+/// Worker failures are terminal: the engine reports the failure cleanly
+/// (instead of hanging or limping on with a missing shard) and refuses
+/// all further pool work. On the *first* failing dispatch — the one that
+/// discovers the death — sibling shards whose jobs were already enqueued
+/// still execute (and, on a durable store, commit) their lanes: a
+/// partially applied batch. Callers must treat the store as failed and,
+/// if durable, rebuild it with [`ShardedRusKey::recover`]; every later
+/// dispatch fails fast before enqueuing anything.
+#[derive(Debug)]
+pub enum MissionError {
+    /// A shard's worker panicked while executing its job — the shard's
+    /// tree died with the thread, and the engine is permanently
+    /// unavailable.
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// A shard's worker was dead when its job was dispatched (an earlier
+    /// panic). The dead shard executed nothing — its tree is untouched
+    /// and back on the store — but siblings dispatched before the death
+    /// was observed may have executed their lanes (first failure only;
+    /// the engine fails fast afterwards).
+    WorkerUnavailable {
+        /// The shard whose worker is gone.
+        shard: usize,
+    },
+    /// A shard's WAL failed with a real I/O error during its commit leg
+    /// (the first failing shard, if several failed in one barrier). The
+    /// engine itself stays alive: every tree is back on the store and the
+    /// batch's lanes were applied, but the failing shard's records are
+    /// not acknowledged.
+    Wal {
+        /// The shard whose log failed.
+        shard: usize,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for MissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MissionError::WorkerPanicked { shard } => {
+                write!(f, "shard {shard}'s worker panicked; the engine is dead")
+            }
+            MissionError::WorkerUnavailable { shard } => write!(
+                f,
+                "shard {shard}'s worker is gone (earlier panic); the engine is dead"
+            ),
+            MissionError::Wal { shard, error } => {
+                write!(f, "shard {shard}'s WAL commit failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MissionError::Wal { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Latency/work composition of one overlapped group-commit barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Barrier latency (virtual ns): the max over the shards' commit
+    /// legs — the fsyncs run concurrently, so the batch waits only for
+    /// the slowest shard.
+    pub barrier_ns: u64,
+    /// Total sync work (virtual ns): the sum over the shards' commit
+    /// legs — what a sequential barrier would have cost.
+    pub busy_ns: u64,
+    /// Shards that actually issued an fsync (shards with nothing
+    /// unacknowledged skip theirs).
+    pub syncs: u64,
+}
+
+/// One unit of work for a shard worker. Every variant that executes
+/// carries the shard's tree in and returns it with the reply — trees are
+/// owned by exactly one side at any instant.
+enum Job {
+    /// Execute a mission lane, then run the shard's group-commit leg
+    /// (fsync overlapped with the sibling shards' legs).
+    Lane {
+        tree: FlsmTree,
+        ops: Vec<Operation>,
+        reply: Sender<Done>,
+    },
+    /// A standalone commit-barrier leg ([`ShardedRusKey::group_commit`]
+    /// outside a mission).
+    Commit { tree: FlsmTree, reply: Sender<Done> },
+    /// Test hook: panic on the worker thread (`tests/pool_stress.rs`
+    /// asserts the panic surfaces as a clean [`MissionError`]).
+    Panic,
+}
+
+impl Job {
+    /// Recovers the tree from a job that could not be dispatched (the
+    /// worker's queue is gone).
+    fn into_tree(self) -> Option<FlsmTree> {
+        match self {
+            Job::Lane { tree, .. } | Job::Commit { tree, .. } => Some(tree),
+            Job::Panic => None,
+        }
+    }
+}
+
+/// Outcome of one shard's commit leg.
+#[derive(Debug, Default)]
+struct CommitLeg {
+    /// Whether an fsync was issued (idle shards skip theirs).
+    synced: bool,
+    /// Virtual ns the leg added to the shard's time domain.
+    ns: u64,
+    /// A real I/O failure, surfaced as [`MissionError::Wal`].
+    error: Option<std::io::Error>,
+}
+
+/// A worker's reply: the tree comes home together with what happened.
+struct Done {
+    shard: usize,
+    tree: FlsmTree,
+    worker: ThreadId,
+    commit: CommitLeg,
+}
+
+/// A completed shard job after its tree has been restored to the store.
+struct ShardDone {
+    shard: usize,
+    worker: ThreadId,
+    commit: CommitLeg,
+}
+
+/// Runs one shard's commit leg, measured on the tree's own time domain.
+fn commit_leg(tree: &mut FlsmTree) -> CommitLeg {
+    match tree.commit_wal_timed() {
+        Ok((synced, ns)) => CommitLeg {
+            synced,
+            ns,
+            error: None,
+        },
+        Err(error) => CommitLeg {
+            synced: false,
+            ns: 0,
+            error: Some(error),
+        },
+    }
+}
+
+/// The run loop of one shard worker: executes jobs until the store drops
+/// the shard's queue (shutdown), returning every tree with its reply. A
+/// panic unwinds through the loop — the in-flight tree and the queue die
+/// with the thread, which is exactly the signal the mission thread turns
+/// into [`MissionError::WorkerPanicked`].
+fn worker_loop(shard: usize, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Lane {
+                mut tree,
+                ops,
+                reply,
+            } => {
+                for op in &ops {
+                    execute_op(&mut tree, op);
+                }
+                // The commit leg runs as soon as this shard's lane is
+                // done — overlapped with siblings still executing theirs.
+                let commit = commit_leg(&mut tree);
+                let _ = reply.send(Done {
+                    shard,
+                    tree,
+                    worker: thread::current().id(),
+                    commit,
+                });
+            }
+            Job::Commit { mut tree, reply } => {
+                let commit = commit_leg(&mut tree);
+                let _ = reply.send(Done {
+                    shard,
+                    tree,
+                    worker: thread::current().id(),
+                    commit,
+                });
+            }
+            Job::Panic => panic!("injected shard-worker panic (test hook)"),
+        }
+    }
+}
+
+/// One shard's worker: its job queue and join handle. `tx` is dropped
+/// first at shutdown so the worker's receive loop ends before the join.
+struct PoolWorker {
+    tx: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The persistent worker pool: one long-lived thread per shard.
+struct WorkerPool {
+    workers: Vec<PoolWorker>,
+}
+
+impl WorkerPool {
+    /// Spawns one named worker thread per shard.
+    fn spawn(shards: usize) -> Self {
+        let workers = (0..shards)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel();
+                let handle = thread::Builder::new()
+                    .name(format!("ruskey-shard-{i}"))
+                    .spawn(move || worker_loop(i, rx))
+                    .expect("spawn shard worker thread");
+                PoolWorker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Enqueues a job on one shard's worker; returns the job (boxed, so
+    /// its tree can be recovered) if the worker is gone.
+    fn send(&self, shard: usize, job: Job) -> Result<(), Box<Job>> {
+        match &self.workers[shard].tx {
+            Some(tx) => tx.send(job).map_err(|mpsc::SendError(job)| Box::new(job)),
+            None => Err(Box::new(job)),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close every queue first so all workers wind down concurrently,
+        // then join. A worker that panicked reports its error through the
+        // mission path; the join here must not double-panic during drop.
+        for w in &mut self.workers {
+            w.tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// An RL-tuned key-value store over `N` hash-partitioned FLSM shards,
+/// executed by a persistent per-shard worker pool.
 pub struct ShardedRusKey {
-    shards: Vec<FlsmTree>,
+    /// One tree per shard. `None` only while a job holding the tree is in
+    /// flight on the shard's worker — or permanently, after that worker
+    /// panicked and took the tree with it.
+    shards: Vec<Option<FlsmTree>>,
+    pool: WorkerPool,
     tuner: Box<dyn Tuner>,
     collector: StatsCollector,
     last_report: Option<MissionReport>,
-    last_parallelism: usize,
+    /// The OS thread that served each shard in the last pool dispatch, in
+    /// shard order. `tests/pool_stress.rs` pins these stable across
+    /// missions (pool reuse, not respawn).
+    last_workers: Vec<ThreadId>,
     /// Ad-hoc [`ShardedRusKey::scan`] calls since the last mission report
     /// (or baseline). Each one broadcast to every shard, so the next
     /// mission's physical scan delta includes them `N` times; tracking
     /// them keeps the broadcast invariant exact.
     adhoc_scans: u64,
+    /// Set once a dispatch observed a dead worker: every later dispatch
+    /// fails fast with [`MissionError::WorkerUnavailable`] *before*
+    /// enqueuing anything, so a dead engine applies at most one partial
+    /// batch (the dispatch that discovered the death) and never more.
+    dead_worker: Option<usize>,
 }
 
 impl ShardedRusKey {
     /// Creates a sharded store driven by an arbitrary tuner, rejecting
-    /// invalid configurations instead of panicking.
+    /// invalid configurations instead of panicking. The per-shard worker
+    /// pool is spawned here and lives until the store drops.
     ///
     /// All shards share `storage` for data and device-level accounting,
     /// but each runs on its own [`ShardStorage`] view — a private time
@@ -180,26 +487,29 @@ impl ShardedRusKey {
         tuner: Box<dyn Tuner>,
     ) -> Result<Self, ConfigError> {
         assert!(shards >= 1, "a store needs at least one shard");
-        let shards = (0..shards)
+        let trees = (0..shards)
             .map(|_| {
                 let view: Arc<dyn Storage> = ShardStorage::new(Arc::clone(&storage));
-                FlsmTree::try_new(cfg.lsm.clone(), view)
+                FlsmTree::try_new(cfg.lsm.clone(), view).map(Some)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
-            shards,
+            shards: trees,
+            pool: WorkerPool::spawn(shards),
             tuner,
             collector: StatsCollector::new(),
             last_report: None,
-            last_parallelism: 0,
+            last_workers: Vec::new(),
             adhoc_scans: 0,
+            dead_worker: None,
         })
     }
 
     /// Creates a *durable* sharded store: every shard gets its own WAL
     /// file under `durability.dir` (appended before each memtable insert,
-    /// truncated on flush), and missions end with a cross-shard
-    /// group-commit barrier — at most one fsync per shard per mission.
+    /// truncated on flush), and missions end with an overlapped
+    /// cross-shard group-commit barrier — at most one fsync per shard per
+    /// mission, run concurrently on the shard workers.
     pub fn try_with_tuner_durable(
         cfg: RusKeyConfig,
         shards: usize,
@@ -209,7 +519,10 @@ impl ShardedRusKey {
     ) -> Result<Self, OpenError> {
         std::fs::create_dir_all(&durability.dir)?;
         let mut store = Self::try_with_tuner(cfg, shards, storage, tuner)?;
-        for (i, tree) in store.shards.iter_mut().enumerate() {
+        // Index by shard *slot*, not by position after a flatten: the WAL
+        // file ↔ shard mapping must never shift past an empty slot.
+        for (i, slot) in store.shards.iter_mut().enumerate() {
+            let tree = slot.as_mut().expect("freshly constructed shard");
             let path = durability.shard_wal_path(i);
             // A fresh store starts from empty logs: leftovers from a
             // previous incarnation would otherwise merge into a later
@@ -272,15 +585,18 @@ impl ShardedRusKey {
                     durability.shard_wal_path(i),
                     durability.sync_every,
                 )
+                .map(Some)
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut store = Self {
             shards: trees,
+            pool: WorkerPool::spawn(shards),
             tuner,
             collector: StatsCollector::new(),
             last_report: None,
-            last_parallelism: 0,
+            last_workers: Vec::new(),
             adhoc_scans: 0,
+            dead_worker: None,
         };
         store.collector.baseline_shards(store.shard_snapshots());
         Ok(store)
@@ -334,46 +650,163 @@ impl ShardedRusKey {
         self.shards.len()
     }
 
+    /// One shard's tree, which lives on the store between missions.
+    ///
+    /// # Panics
+    /// Panics if the shard's worker panicked and took the tree with it
+    /// (the engine is dead; see [`MissionError`]).
+    fn tree(&self, idx: usize) -> &FlsmTree {
+        self.shards[idx]
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {idx}'s worker died; the engine is unavailable"))
+    }
+
+    /// Mutable counterpart of [`ShardedRusKey::tree`].
+    fn tree_mut(&mut self, idx: usize) -> &mut FlsmTree {
+        self.shards[idx]
+            .as_mut()
+            .unwrap_or_else(|| panic!("shard {idx}'s worker died; the engine is unavailable"))
+    }
+
     /// Read access to one shard's tree (experiments and introspection).
     pub fn shard(&self, idx: usize) -> &FlsmTree {
-        &self.shards[idx]
+        self.tree(idx)
     }
 
     /// Mutable access to one shard's tree (test harnesses arm WAL crash
     /// points through this).
     pub fn shard_mut(&mut self, idx: usize) -> &mut FlsmTree {
-        &mut self.shards[idx]
+        self.tree_mut(idx)
     }
 
     /// True if any shard's WAL simulated a process crash (fault
     /// injection): the store's write path is dead and the harness should
     /// recover from the logs.
     pub fn crashed(&self) -> bool {
-        self.shards.iter().any(FlsmTree::wal_crashed)
+        self.shards.iter().flatten().any(FlsmTree::wal_crashed)
     }
 
-    /// The cross-shard group-commit barrier: syncs each shard's WAL at
-    /// most once, acknowledging every record logged since the previous
-    /// barrier — `sync()` once per shard per batch instead of once per
-    /// record. Shards with nothing unacknowledged skip their fsync.
-    /// Returns the virtual ns the barrier added across the shard time
-    /// domains (the batch's durability latency).
-    ///
-    /// The barrier walks shards in order and stops at the first crashed
-    /// WAL (a dead process commits nothing further) — which is what lets
-    /// the crash harness pin exactly which shards' batches became
-    /// durable.
-    pub fn group_commit(&mut self) -> u64 {
-        let mut commit_ns = 0u64;
-        for tree in &mut self.shards {
-            let before = tree.storage().clock().now_ns();
-            tree.commit_wal().expect("WAL group commit failed");
-            commit_ns += tree.storage().clock().now_ns() - before;
-            if tree.wal_crashed() {
-                break;
+    /// Test hook (`tests/pool_stress.rs`): makes the given shard's worker
+    /// panic on its next job, simulating an engine bug on a pool thread.
+    /// The next dispatch observes the death as a clean [`MissionError`]
+    /// instead of a hang. A production store never calls this.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&mut self, shard: usize) {
+        // Best-effort: if the worker is already gone the send fails,
+        // which is the state the hook wanted anyway.
+        let _ = self.pool.send(shard, Job::Panic);
+    }
+
+    /// Dispatches one job per shard onto the worker pool and collects the
+    /// replies, restoring every returned tree to its slot. This is the
+    /// single synchronization point of the engine: worker death (queue
+    /// gone or reply never sent) surfaces here as a [`MissionError`], and
+    /// per-shard worker threads/commit legs are recorded from the
+    /// replies.
+    fn dispatch(
+        &mut self,
+        mut job_for: impl FnMut(usize, FlsmTree, Sender<Done>) -> Job,
+    ) -> Result<Vec<ShardDone>, MissionError> {
+        // Fail fast on a known-dead engine *before* enqueuing anything:
+        // only the dispatch that discovers a death executes partially.
+        if let Some(shard) = self.dead_worker {
+            return Err(MissionError::WorkerUnavailable { shard });
+        }
+        if let Some(shard) = self.shards.iter().position(Option::is_none) {
+            return Err(MissionError::WorkerUnavailable { shard });
+        }
+        let n = self.shards.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut dispatched = 0usize;
+        let mut dead_shard = None;
+        for i in 0..n {
+            let tree = self.shards[i].take().expect("all trees checked present");
+            match self.pool.send(i, job_for(i, tree, reply_tx.clone())) {
+                Ok(()) => dispatched += 1,
+                Err(job) => {
+                    // The worker's queue is gone (it panicked earlier):
+                    // recover the tree from the unsent job and keep
+                    // collecting the shards already dispatched.
+                    self.shards[i] = job.into_tree();
+                    dead_shard.get_or_insert(i);
+                }
             }
         }
-        commit_ns
+        drop(reply_tx);
+        let mut dones = Vec::with_capacity(dispatched);
+        for _ in 0..dispatched {
+            // recv() cannot hang: every reply sender lives inside a job,
+            // and a worker either sends it or drops it by panicking — in
+            // which case the channel closes once the remaining workers
+            // finish.
+            let Ok(done) = reply_rx.recv() else { break };
+            let Done {
+                shard,
+                tree,
+                worker,
+                commit,
+            } = done;
+            self.shards[shard] = Some(tree);
+            dones.push(ShardDone {
+                shard,
+                worker,
+                commit,
+            });
+        }
+        if let Some(shard) = dead_shard {
+            self.dead_worker = Some(shard);
+            return Err(MissionError::WorkerUnavailable { shard });
+        }
+        if dones.len() < dispatched {
+            let shard = self
+                .shards
+                .iter()
+                .position(Option::is_none)
+                .expect("a missing reply leaves its tree unreturned");
+            self.dead_worker = Some(shard);
+            return Err(MissionError::WorkerPanicked { shard });
+        }
+        // Every shard replied: the dispatch fully executed, so the worker
+        // introspection is current even if a commit leg failed below.
+        let mut workers = vec![None; n];
+        for d in &dones {
+            workers[d.shard] = Some(d.worker);
+        }
+        self.last_workers = workers
+            .into_iter()
+            .map(|w| w.expect("every shard replied exactly once"))
+            .collect();
+        if let Some(d) = dones.iter_mut().find(|d| d.commit.error.is_some()) {
+            return Err(MissionError::Wal {
+                shard: d.shard,
+                error: d.commit.error.take().expect("checked present"),
+            });
+        }
+        Ok(dones)
+    }
+
+    /// The overlapped cross-shard group-commit barrier: every shard's
+    /// worker syncs its WAL at most once, concurrently with its siblings,
+    /// acknowledging every record logged since the previous barrier —
+    /// one fsync per shard per batch instead of one per record. Shards
+    /// with nothing unacknowledged skip their fsync; a shard whose WAL
+    /// already crashed no-ops without stopping its siblings' legs (a dead
+    /// process commits nothing further, but the others' batches become
+    /// durable — which is what lets the crash harness pin exactly which
+    /// shards' records survived).
+    ///
+    /// # Panics
+    /// Panics on [`MissionError`]; use [`ShardedRusKey::try_group_commit`]
+    /// for fallible operation.
+    pub fn group_commit(&mut self) -> CommitStats {
+        self.try_group_commit()
+            .unwrap_or_else(|e| panic!("group commit failed: {e}"))
+    }
+
+    /// Fallible form of [`ShardedRusKey::group_commit`].
+    pub fn try_group_commit(&mut self) -> Result<CommitStats, MissionError> {
+        let dones = self.dispatch(|_, tree, reply| Job::Commit { tree, reply })?;
+        Ok(commit_stats(&dones))
     }
 
     /// The tuner's display name.
@@ -396,10 +829,18 @@ impl ShardedRusKey {
         self.last_report.as_ref()
     }
 
-    /// Distinct OS worker threads used by the last mission (1 when the
-    /// store has a single shard and executes inline).
+    /// Distinct OS worker threads used by the last pool dispatch (one per
+    /// shard: `N` for an `N`-shard store, 1 when it has a single shard).
     pub fn last_parallelism(&self) -> usize {
-        self.last_parallelism
+        self.last_workers.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// The OS thread that served each shard in the last pool dispatch, in
+    /// shard order (empty before the first mission). The pool is
+    /// persistent, so consecutive missions report identical IDs —
+    /// `tests/pool_stress.rs` pins this.
+    pub fn last_worker_threads(&self) -> &[ThreadId] {
+        &self.last_workers
     }
 
     /// Store-wide statistics: every shard's snapshot merged
@@ -413,7 +854,9 @@ impl ShardedRusKey {
     /// One statistics snapshot per shard, in shard order — each covering
     /// exactly that shard's time domain.
     pub fn shard_snapshots(&self) -> Vec<TreeStatsSnapshot> {
-        self.shards.iter().map(FlsmTree::stats).collect()
+        (0..self.shards.len())
+            .map(|i| self.tree(i).stats())
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -427,21 +870,21 @@ impl ShardedRusKey {
     /// Point lookup, routed to the owning shard.
     pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
         let s = self.owner(key);
-        self.shards[s].get(key)
+        self.tree_mut(s).get(key)
     }
 
     /// Insert or overwrite, routed to the owning shard.
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
-        self.shards[s].put(key, value);
+        self.tree_mut(s).put(key, value);
     }
 
     /// Delete, routed to the owning shard.
     pub fn delete(&mut self, key: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
-        self.shards[s].delete(key);
+        self.tree_mut(s).delete(key);
     }
 
     /// Range scan over `[start, end)` with a result limit: every shard
@@ -449,10 +892,8 @@ impl ShardedRusKey {
     /// are k-way merged into one globally sorted result.
     pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Bytes, Bytes)> {
         self.adhoc_scans += 1;
-        let per_shard: Vec<Vec<(Bytes, Bytes)>> = self
-            .shards
-            .iter_mut()
-            .map(|t| t.scan(start, end, limit))
+        let per_shard: Vec<Vec<(Bytes, Bytes)>> = (0..self.shards.len())
+            .map(|i| self.tree_mut(i).scan(start, end, limit))
             .collect();
         merge_sorted_scans(per_shard, limit)
     }
@@ -470,9 +911,9 @@ impl ShardedRusKey {
         for (k, v) in pairs {
             per_shard[shard_for_key(&k, n)].push((k, v));
         }
-        for (tree, shard_pairs) in self.shards.iter_mut().zip(per_shard) {
+        for (i, shard_pairs) in per_shard.into_iter().enumerate() {
             if !shard_pairs.is_empty() {
-                tree.bulk_load(shard_pairs);
+                self.tree_mut(i).bulk_load(shard_pairs);
             }
         }
         self.collector.baseline_shards(self.shard_snapshots());
@@ -487,18 +928,13 @@ impl ShardedRusKey {
     /// distribution). For a one-shard store this equals
     /// [`RusKey::observe`](crate::db::RusKey::observe).
     pub fn observe(&self) -> TreeObservation {
-        let level_count = self
-            .shards
-            .iter()
-            .map(FlsmTree::level_count)
-            .max()
-            .unwrap_or(0);
+        let trees: Vec<&FlsmTree> = (0..self.shards.len()).map(|i| self.tree(i)).collect();
+        let level_count = trees.iter().map(|t| t.level_count()).max().unwrap_or(0);
         let mut policies = Vec::with_capacity(level_count);
         let mut fills = Vec::with_capacity(level_count);
         let mut run_counts = Vec::with_capacity(level_count);
         for i in 0..level_count {
-            let holders: Vec<&FlsmTree> =
-                self.shards.iter().filter(|t| t.level_count() > i).collect();
+            let holders: Vec<&&FlsmTree> = trees.iter().filter(|t| t.level_count() > i).collect();
             policies.push(holders[0].policy(i));
             fills.push(holders.iter().map(|t| t.level_fill(i)).sum::<f64>() / holders.len() as f64);
             let mean_runs = holders.iter().map(|t| t.level_run_count(i)).sum::<usize>() as f64
@@ -509,7 +945,7 @@ impl ShardedRusKey {
             policies,
             fills,
             run_counts,
-            size_ratio: self.shards[0].config().size_ratio,
+            size_ratio: trees[0].config().size_ratio,
             level_count,
         }
     }
@@ -517,15 +953,11 @@ impl ShardedRusKey {
     /// Store-wide per-level policies (each level reported by the first
     /// shard that has materialized it).
     pub fn policies(&self) -> Vec<u32> {
-        let level_count = self
-            .shards
-            .iter()
-            .map(FlsmTree::level_count)
-            .max()
-            .unwrap_or(0);
+        let trees: Vec<&FlsmTree> = (0..self.shards.len()).map(|i| self.tree(i)).collect();
+        let level_count = trees.iter().map(|t| t.level_count()).max().unwrap_or(0);
         (0..level_count)
             .map(|i| {
-                self.shards
+                trees
                     .iter()
                     .find(|t| t.level_count() > i)
                     .map(|t| t.policy(i))
@@ -534,11 +966,26 @@ impl ShardedRusKey {
             .collect()
     }
 
-    /// Processes one mission: routes the operations onto the shards,
-    /// executes them in parallel (one scoped OS thread per shard when
-    /// `N > 1`), builds the aggregated mission report, lets the global
-    /// tuner act, and fans its policy changes out to every shard.
+    /// Processes one mission: routes the operations into per-shard lanes,
+    /// dispatches them onto the persistent worker pool (every shard
+    /// count, `N = 1` included, runs the same code path), lets each
+    /// worker run its shard's group-commit leg as soon as its lane
+    /// finishes (overlapped fsyncs), builds the aggregated mission
+    /// report, lets the global tuner act, and fans its policy changes out
+    /// to every shard.
+    ///
+    /// # Panics
+    /// Panics on [`MissionError`] (a dead worker or a WAL I/O failure);
+    /// use [`ShardedRusKey::try_run_mission`] for fallible operation.
     pub fn run_mission(&mut self, ops: &[Operation]) -> MissionReport {
+        self.try_run_mission(ops)
+            .unwrap_or_else(|e| panic!("mission failed: {e}"))
+    }
+
+    /// Fallible form of [`ShardedRusKey::run_mission`]: worker panics and
+    /// WAL I/O failures surface as [`MissionError`] instead of a panic
+    /// (and never as a hang).
+    pub fn try_run_mission(&mut self, ops: &[Operation]) -> Result<MissionReport, MissionError> {
         let t0 = Instant::now();
         let n = self.shards.len();
         // Logical scan count, taken at routing time: a range scan
@@ -548,44 +995,38 @@ impl ShardedRusKey {
             .iter()
             .filter(|op| matches!(op, Operation::Scan { .. }))
             .count() as u64;
-        if n == 1 {
-            for op in ops {
-                execute_op(&mut self.shards[0], op);
-            }
-            self.last_parallelism = 1;
-        } else {
-            let lanes = partition_ops(ops, n);
-            // Measured (not assumed from the spawn structure) so the
-            // equivalence suite can assert real OS-thread parallelism.
-            let worker_ids = Mutex::new(std::collections::HashSet::new());
-            std::thread::scope(|scope| {
-                for (tree, lane) in self.shards.iter_mut().zip(&lanes) {
-                    let worker_ids = &worker_ids;
-                    scope.spawn(move || {
-                        worker_ids
-                            .lock()
-                            .expect("worker id set poisoned")
-                            .insert(std::thread::current().id());
-                        for op in lane {
-                            execute_op(tree, op);
-                        }
-                    });
+        let mut lanes: Vec<Option<Vec<Operation>>> =
+            partition_ops_owned(ops, n).into_iter().map(Some).collect();
+        let dones = match self.dispatch(|i, tree, reply| Job::Lane {
+            tree,
+            ops: lanes[i].take().expect("one lane per shard"),
+            reply,
+        }) {
+            Ok(dones) => dones,
+            Err(e) => {
+                // A WAL commit failure leaves the engine alive with every
+                // lane already applied but no report cut for it: rebaseline
+                // so a later mission's report does not double-count this
+                // mission's work. (Worker deaths need no rebaseline — the
+                // engine is marked dead and no further report can be
+                // built.)
+                if matches!(e, MissionError::Wal { .. }) {
+                    self.collector.baseline_shards(self.shard_snapshots());
+                    self.adhoc_scans = 0;
                 }
-            });
-            self.last_parallelism = worker_ids
-                .into_inner()
-                .expect("worker id set poisoned")
-                .len();
-        }
-        // Mission-level commit barrier *before* the snapshots: the batch's
-        // sync cost and acknowledgement counters belong to this mission's
-        // report, and one fsync per shard covers the whole mission batch.
-        let commit_ns = self.group_commit();
+                return Err(e);
+            }
+        };
+        // The commit barrier ran inside the workers, overlapped: the
+        // mission's durability latency is the slowest shard's leg, the
+        // total sync work the sum of all legs.
+        let commit = commit_stats(&dones);
         let process_ns = t0.elapsed().as_nanos() as u64;
         let mut report = self
             .collector
             .report_mission_shards(self.shard_snapshots(), process_ns);
-        report.commit_ns = commit_ns;
+        report.commit_ns = commit.barrier_ns;
+        report.commit_busy_ns = commit.busy_ns;
         // Report the *logical* scan composition (one scan per mission
         // operation, counted at routing time above, plus any ad-hoc
         // `scan()` calls since the last report) so `gamma` is comparable
@@ -610,13 +1051,23 @@ impl ShardedRusKey {
 
         let obs = self.observe();
         crate::db::tune_mission(self.tuner.as_mut(), &mut report, &obs, |level, k| {
-            for tree in &mut self.shards {
+            for tree in self.shards.iter_mut().flatten() {
                 tree.set_policy(level, k);
             }
         });
         report.policies_after = self.policies();
         self.last_report = Some(report.clone());
-        report
+        Ok(report)
+    }
+}
+
+/// Folds per-shard commit legs into the barrier composition: latency is
+/// the max (the legs ran concurrently), work the sum.
+fn commit_stats(dones: &[ShardDone]) -> CommitStats {
+    CommitStats {
+        barrier_ns: dones.iter().map(|d| d.commit.ns).max().unwrap_or(0),
+        busy_ns: dones.iter().map(|d| d.commit.ns).sum(),
+        syncs: dones.iter().filter(|d| d.commit.synced).count() as u64,
     }
 }
 
@@ -749,6 +1200,7 @@ mod tests {
         assert!(r.end_to_end_ns > 0);
         assert!(!r.policies_after.is_empty());
         assert_eq!(db.last_parallelism(), 4, "one worker thread per shard");
+        assert_eq!(db.last_worker_threads().len(), 4);
     }
 
     #[test]
@@ -828,6 +1280,39 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         let _ = ShardedRusKey::untuned(small_cfg(), 0, disk());
+    }
+
+    /// An injected worker panic surfaces as a clean [`MissionError`] on
+    /// the next dispatch — and the engine stays dead (no limping on with
+    /// a missing shard), while dropping the store does not hang.
+    #[test]
+    fn worker_panic_is_a_clean_error_and_kills_the_engine() {
+        let mut db = ShardedRusKey::untuned(small_cfg(), 3, disk());
+        db.bulk_load(bulk_load_pairs(300, 16, 48, 5));
+        let spec = WorkloadSpec {
+            key_space: 300,
+            value_len: 48,
+            ..WorkloadSpec::scaled_default(300)
+        };
+        let mut g = OpGenerator::new(spec, 6);
+        assert!(db.try_run_mission(&g.take_ops(100)).is_ok());
+        db.inject_worker_panic(1);
+        let err = db
+            .try_run_mission(&g.take_ops(100))
+            .expect_err("a dead worker must fail the mission");
+        assert!(
+            matches!(
+                err,
+                MissionError::WorkerPanicked { shard: 1 }
+                    | MissionError::WorkerUnavailable { shard: 1 }
+            ),
+            "unexpected error: {err}"
+        );
+        // Every later dispatch reports the dead worker too.
+        let err2 = db
+            .try_run_mission(&g.take_ops(50))
+            .expect_err("the engine must stay dead");
+        assert!(err2.to_string().contains("shard 1"), "{err2}");
     }
 
     #[test]

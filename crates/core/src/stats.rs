@@ -66,9 +66,17 @@ pub struct MissionReport {
     /// the latest, so this equals the mission's update count for a
     /// durable store.
     pub wal_synced: u64,
-    /// Virtual ns the group-commit barrier added across shard domains
-    /// (part of `device_busy_ns`; the durability cost of the mission).
+    /// Barrier latency of the mission's group commit (virtual ns): the
+    /// **max** over the shards' commit legs. The legs run concurrently on
+    /// the persistent shard workers, so the batch waits only for the
+    /// slowest shard's fsync.
     pub commit_ns: u64,
+    /// Total sync work of the group commit (virtual ns): the **sum** over
+    /// the shards' commit legs — what a sequential barrier would have
+    /// cost, and the share of `device_busy_ns` durability is responsible
+    /// for. Equals `commit_ns` for a single-shard store; the pool-rewrite
+    /// proptest pins `commit_ns <= commit_busy_ns` for any op mix.
+    pub commit_busy_ns: u64,
     /// Real wall-clock time spent processing the mission (ns) — used by the
     /// Fig. 13 model-cost comparison.
     pub real_process_ns: u64,
@@ -216,6 +224,7 @@ impl StatsCollector {
             wal_syncs: d.wal_syncs,
             wal_synced: d.wal_synced,
             commit_ns: 0,
+            commit_busy_ns: 0,
             levels,
             real_process_ns,
             model_update_ns: 0,

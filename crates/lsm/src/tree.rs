@@ -158,6 +158,19 @@ impl FlsmTree {
         Ok(true)
     }
 
+    /// [`FlsmTree::commit_wal`] with its cost measured on this tree's own
+    /// storage time domain: returns whether a sync was issued and the
+    /// virtual ns the commit leg added to the domain. This is the entry
+    /// point the engine's commit barriers call — from the mission thread
+    /// for a single tree, or from a persistent shard worker whose legs
+    /// run concurrently with its siblings' (the per-domain clock makes
+    /// the reading exact either way).
+    pub fn commit_wal_timed(&mut self) -> std::io::Result<(bool, u64)> {
+        let before = self.storage.clock().now_ns();
+        let synced = self.commit_wal()?;
+        Ok((synced, self.storage.clock().now_ns() - before))
+    }
+
     /// The tree's configuration.
     pub fn config(&self) -> &LsmConfig {
         &self.cfg

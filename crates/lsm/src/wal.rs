@@ -22,7 +22,11 @@
 //!   appends bounds the loss window to `n - 1` records;
 //! * **group commit** (the sharded store): one [`Wal::sync`] per shard per
 //!   batch at a mission-level commit barrier, so the fsync cost is
-//!   amortized over the whole batch instead of paid per record.
+//!   amortized over the whole batch instead of paid per record. The
+//!   per-shard sync legs run *concurrently* on the engine's persistent
+//!   shard workers — the barrier waits for the slowest shard, not the sum
+//!   of all shards, and a shard that crashes mid-leg does not stop its
+//!   siblings' fsyncs from completing.
 //!
 //! A record is *acknowledged* only once a sync covering it succeeds;
 //! [`Wal::durable_records`] counts exactly those. After a successful

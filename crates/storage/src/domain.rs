@@ -17,6 +17,12 @@
 //! Composition at the store level follows: *device-busy time* is the sum of
 //! the domains' clocks, *wall time* of a parallel mission is the max over
 //! the participating domains' deltas.
+//!
+//! A domain belongs to its view, not to any OS thread: the engine's
+//! persistent shard workers charge the same domain from whichever pool
+//! thread currently owns the shard's tree, and the accounting stays exact
+//! because exactly one job holds that tree at a time (clock and metrics
+//! are atomic, so even concurrent charging would only race, not corrupt).
 
 use std::sync::Arc;
 

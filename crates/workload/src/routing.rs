@@ -72,6 +72,18 @@ pub fn partition_ops(ops: &[Operation], shards: usize) -> Vec<Vec<&Operation>> {
     out
 }
 
+/// Owned variant of [`partition_ops`] for executors whose workers outlive
+/// the mission borrow — e.g. a persistent shard worker pool, where lanes
+/// are sent over a channel to long-lived threads. Each operation is cloned
+/// into its lane(s); keys and values are refcounted [`bytes::Bytes`], so
+/// the clone is a pointer bump, not a copy of the payload.
+pub fn partition_ops_owned(ops: &[Operation], shards: usize) -> Vec<Vec<Operation>> {
+    partition_ops(ops, shards)
+        .into_iter()
+        .map(|lane| lane.into_iter().cloned().collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +184,30 @@ mod tests {
                     assert!(p > q, "lane order diverged from mission order");
                 }
                 prev = Some(p);
+            }
+        }
+    }
+
+    /// The owned partition is element-for-element the borrowed one: the
+    /// pool's lanes carry exactly what scoped-thread execution saw.
+    #[test]
+    fn owned_partition_equals_borrowed_partition() {
+        let spec = WorkloadSpec::scaled_default(300).with_mix(OpMix {
+            lookup: 0.4,
+            update: 0.4,
+            delete: 0.1,
+            scan: 0.1,
+        });
+        let ops = OpGenerator::new(spec, 23).take_ops(500);
+        for shards in [1usize, 3, 4] {
+            let borrowed = partition_ops(&ops, shards);
+            let owned = partition_ops_owned(&ops, shards);
+            assert_eq!(owned.len(), borrowed.len());
+            for (lane_owned, lane_borrowed) in owned.iter().zip(&borrowed) {
+                assert_eq!(lane_owned.len(), lane_borrowed.len());
+                for (a, b) in lane_owned.iter().zip(lane_borrowed) {
+                    assert_eq!(a, *b, "{shards} shards: owned lane diverged");
+                }
             }
         }
     }

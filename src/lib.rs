@@ -11,9 +11,17 @@
 //! [`ruskey::sharded::ShardedRusKey`] hash-partitions keys onto `N`
 //! independent FLSM-trees ([`lsm`]) that share one storage device
 //! ([`storage`], whose accounting is atomic and `Sync`). Missions execute
-//! in parallel — one scoped OS thread per shard, operations routed by the
-//! stable FNV-1a hash in [`workload::routing`]; cross-shard range scans
-//! are k-way merged. Each shard accounts on its own **time domain** (a
+//! in parallel on a **persistent worker pool**: one long-lived OS thread
+//! per shard, spawned when the store is constructed and reused for every
+//! mission (spawn cost is amortized across the store's lifetime, not paid
+//! per mission), with operations routed by the stable FNV-1a hash in
+//! [`workload::routing`]; cross-shard range scans are k-way merged.
+//! Trees move between the store and the workers over channels — exactly
+//! one side owns a shard's tree at any instant, so the hot path carries
+//! no locks — and `N = 1` runs through the same pool path as any other
+//! shard count. A panicking worker surfaces as a clean
+//! [`ruskey::sharded::MissionError`] (never a hang); dropping the store
+//! joins every worker. Each shard accounts on its own **time domain** (a
 //! [`storage::ShardStorage`] view with a private virtual clock), so
 //! per-shard and per-level time attribution is exact under parallelism;
 //! domains compose store-wide into mission wall time (max) and
@@ -22,8 +30,11 @@
 //! policy changes out to every shard, so the paper's tuning loop is
 //! unchanged. [`ruskey::db::RusKey`] remains the single-tree `N = 1` case
 //! used by all paper experiments; `tests/sharded_equivalence.rs` asserts
-//! the two are observationally equivalent and `tests/time_domains.rs`
-//! asserts per-shard accounting exactness at `N ∈ {2, 4}`.
+//! the two are observationally equivalent, `tests/time_domains.rs`
+//! asserts per-shard accounting exactness at `N ∈ {2, 4}`, and
+//! `tests/pool_stress.rs` pins pool reuse (stable worker threads across
+//! missions), single-threaded-replay determinism, and clean panic
+//! propagation.
 //!
 //! # Durability & recovery
 //!
@@ -32,11 +43,16 @@
 //! memtable insert, truncated whenever a memtable flush supersedes it.
 //! Per-record fsyncs would dominate write cost, so the sharded store
 //! instead runs a **cross-shard group commit**: every mission ends with a
-//! commit barrier ([`ruskey::sharded::ShardedRusKey::group_commit`]) that
-//! fsyncs each shard's log at most once, acknowledging the whole batch
-//! per shard with a single sync. The durability traffic and its cost are
-//! first-class metrics — WAL appends, fsyncs, acknowledged records, and
-//! barrier latency flow through [`lsm::TreeStatsSnapshot`] into
+//! commit barrier that fsyncs each shard's log at most once, and the
+//! per-shard legs run *concurrently* on the persistent shard workers
+//! (each worker commits as soon as its lane finishes), so the barrier
+//! costs the slowest shard's fsync — not the sum of all shards' — and a
+//! shard crashing mid-leg cannot stop its siblings' batches from
+//! committing. The durability traffic and its cost are first-class
+//! metrics — WAL appends, fsyncs, acknowledged records, and both barrier
+//! compositions ([`ruskey::stats::MissionReport::commit_ns`], the
+//! overlapped max, vs [`ruskey::stats::MissionReport::commit_busy_ns`],
+//! the sequential sum) flow through [`lsm::TreeStatsSnapshot`] into
 //! [`ruskey::stats::MissionReport`] (and the `repro durability` JSON),
 //! and WAL I/O is charged to the owning shard's time domain via the
 //! [`storage::CostModel`] WAL constants.

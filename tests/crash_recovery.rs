@@ -7,7 +7,12 @@
 //!    path at every interesting instant (pre-append, post-append,
 //!    post-sync, mid-flush) at `N ∈ {1, 2, 4}` shards; recovery must
 //!    restore exactly the acknowledged prefix (and, for the torn
-//!    mid-flush sync, a strict per-shard prefix of the batch).
+//!    mid-flush sync, a strict per-shard prefix of the batch). The
+//!    group-commit barrier is *overlapped* — every shard's commit leg
+//!    runs concurrently on its persistent worker — so a shard crashing
+//!    mid-barrier does not stop its siblings' fsyncs: sync-time crash
+//!    points leave the sibling shards' batches durable, and a dedicated
+//!    overlapped-commit case pins that under mission-driven operation.
 //! 2. **Recovery equivalence proptest**: random op sequences with a crash
 //!    at a random buffer-loss point — the recovered store's get/scan
 //!    results must be bit-identical to a store that only executed the
@@ -33,7 +38,9 @@ use ruskey_repro::ruskey::db::RusKeyConfig;
 use ruskey_repro::ruskey::sharded::{DurabilityConfig, ShardedRusKey};
 use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
 use ruskey_repro::workload::routing::shard_for_key;
-use ruskey_repro::workload::{bulk_load_pairs, encode_key, OpGenerator, OpMix, WorkloadSpec};
+use ruskey_repro::workload::{
+    bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation, WorkloadSpec,
+};
 
 static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
@@ -159,16 +166,31 @@ fn recovery_restores_exactly_the_synced_prefix_at_every_crash_point() {
                     "shards={shards} point={point:?}: committed key {i} lost"
                 );
             }
-            // Phase 2 on the non-crashed shards never reached a barrier:
-            // always lost.
+            // Phase 2 on the non-crashed shards: depends on whether the
+            // barrier ran. Append-time crashes kill the process before
+            // any barrier — the siblings' buffered records die unflushed.
+            // Sync-time crashes fire *inside* the overlapped barrier,
+            // whose per-shard legs run concurrently: the crashed shard
+            // cannot stop its siblings, so their batches become durable.
+            let barrier_ran = matches!(point, CrashPoint::PostSync | CrashPoint::MidFlush);
             for i in PHASE1..PHASE1 + PHASE2 {
                 if shard_for_key(&key(i), shards) != 0 {
-                    assert_eq!(
-                        rec.get(&key(i)),
-                        None,
-                        "shards={shards} point={point:?}: unacknowledged key {i} \
-                         on a sibling shard resurfaced"
-                    );
+                    if barrier_ran {
+                        assert_eq!(
+                            rec.get(&key(i)).as_deref(),
+                            Some(val(i).as_slice()),
+                            "shards={shards} point={point:?}: sibling shard's \
+                             committed key {i} lost — the overlapped barrier \
+                             must complete the non-crashed shards' fsyncs"
+                        );
+                    } else {
+                        assert_eq!(
+                            rec.get(&key(i)),
+                            None,
+                            "shards={shards} point={point:?}: unacknowledged key {i} \
+                             on a sibling shard resurfaced"
+                        );
+                    }
                 }
             }
             // Phase 2 on the crashed shard: exactly what the point allows.
@@ -271,6 +293,109 @@ fn group_commit_syncs_at_most_once_per_shard_per_mission() {
                 );
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Acceptance (ISSUE 4): one shard crashes *mid-barrier* (torn fsync)
+/// while its siblings' overlapped commit legs complete. Recovery must
+/// restore exactly the acknowledged prefix — the earlier mission's batch
+/// everywhere, the final batch in full on the surviving shards, a strict
+/// prefix of it on the crashed shard — and the mission reports must show
+/// the ≤ 1-fsync-per-shard-per-batch bound held throughout.
+#[test]
+fn overlapped_commit_crash_keeps_sibling_batches_durable() {
+    const BATCH: u64 = 60;
+    for shards in [2usize, 4] {
+        let dir = wal_dir("overlap");
+        let dur = DurabilityConfig::group_commit(&dir);
+        let mut db = durable_store(shards, &dur);
+
+        let put = |i: u64| Operation::Put {
+            key: key(i),
+            value: Bytes::from(val(i)),
+        };
+        // Mission 1: acknowledged everywhere by its overlapped barrier.
+        let ops1: Vec<Operation> = (0..BATCH).map(put).collect();
+        let r1 = db.run_mission(&ops1);
+        assert!(
+            r1.wal_syncs <= shards as u64,
+            "shards={shards}: mission 1 broke the ≤1-fsync-per-shard bound"
+        );
+        assert_eq!(r1.wal_synced, r1.wal_appends);
+        assert!(!db.crashed());
+
+        // Mission 2: shard 0's commit leg tears mid-fsync. The legs run
+        // concurrently on the shard workers, so the siblings' fsyncs
+        // complete regardless.
+        db.shard_mut(0)
+            .wal_mut()
+            .expect("durable shard has a WAL")
+            .arm_crash(CrashPoint::MidFlush, 0);
+        let ops2: Vec<Operation> = (BATCH..2 * BATCH).map(put).collect();
+        let shard0_batch2: Vec<u64> = (BATCH..2 * BATCH)
+            .filter(|&i| shard_for_key(&key(i), shards) == 0)
+            .collect();
+        assert!(
+            !shard0_batch2.is_empty(),
+            "shards={shards}: the crash scenario needs writes on shard 0"
+        );
+        let r2 = db.run_mission(&ops2);
+        assert!(
+            db.crashed(),
+            "shards={shards}: the mid-flush crash never fired"
+        );
+        assert!(
+            r2.wal_syncs <= shards as u64,
+            "shards={shards}: mission 2 broke the ≤1-fsync-per-shard bound"
+        );
+        assert!(
+            r2.commit_ns <= r2.commit_busy_ns,
+            "shards={shards}: overlapped barrier latency (max) exceeded the \
+             sequential sum"
+        );
+        drop(db); // the crashed shard's unflushed tail dies here
+
+        let mut rec = recovered_store(shards, &dur);
+        // Mission 1 was acknowledged everywhere: always recovered.
+        for i in 0..BATCH {
+            assert_eq!(
+                rec.get(&key(i)).as_deref(),
+                Some(val(i).as_slice()),
+                "shards={shards}: committed key {i} lost"
+            );
+        }
+        // Mission 2 on the surviving shards: their overlapped legs
+        // completed, the batch is durable.
+        for i in BATCH..2 * BATCH {
+            if shard_for_key(&key(i), shards) != 0 {
+                assert_eq!(
+                    rec.get(&key(i)).as_deref(),
+                    Some(val(i).as_slice()),
+                    "shards={shards}: sibling shard's committed key {i} lost \
+                     mid-barrier — the crashed shard must not stop its siblings"
+                );
+            }
+        }
+        // Mission 2 on the crashed shard: a strict prefix of its lane, in
+        // append order, with no holes.
+        let recovered0: Vec<bool> = shard0_batch2
+            .iter()
+            .map(|&i| rec.get(&key(i)).is_some())
+            .collect();
+        let first_missing = recovered0
+            .iter()
+            .position(|&p| !p)
+            .unwrap_or(recovered0.len());
+        assert!(
+            recovered0[first_missing..].iter().all(|&p| !p),
+            "shards={shards}: torn batch recovered with holes: {recovered0:?}"
+        );
+        assert!(
+            first_missing < recovered0.len(),
+            "shards={shards}: a torn mid-flush sync must not persist the \
+             crashed shard's full batch"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,310 @@
+//! Deterministic concurrency stress suite for the persistent shard
+//! worker pool.
+//!
+//! The pool rewrite (one long-lived worker per shard, reused across
+//! missions, with the group-commit legs overlapped on the workers) makes
+//! three guarantees that must be *tested*, not assumed from the spawn
+//! structure:
+//!
+//! 1. **Pool reuse**: the same OS threads serve every mission — worker
+//!    thread IDs are stable across ≥ 10 consecutive missions at
+//!    `N ∈ {1, 2, 4, 8}`, and `N` distinct threads participate.
+//! 2. **Determinism**: pooled parallel execution is bit-identical to a
+//!    single-threaded replay of each shard's lane (results *and* the
+//!    per-domain virtual-time accounting).
+//! 3. **Clean failure**: a panicking shard worker surfaces as a
+//!    [`MissionError`] on the mission thread — never a hang, never a
+//!    store that limps on with a missing shard.
+//!
+//! A proptest additionally pins the overlapped-barrier composition
+//! (`commit_ns` = max over concurrent legs ≤ `commit_busy_ns` = their
+//! sum) and that the WAL traffic counters (`wal_appends`, `wal_syncs`)
+//! are invariant under the pool rewrite for any op mix: they must equal
+//! the ground truth derived from routing alone.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ruskey_repro::ruskey::db::RusKeyConfig;
+use ruskey_repro::ruskey::sharded::{DurabilityConfig, MissionError, ShardedRusKey};
+use ruskey_repro::ruskey::tuner::NoOpTuner;
+use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
+use ruskey_repro::workload::routing::{partition_ops, shard_for_key};
+use ruskey_repro::workload::{
+    bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation, WorkloadSpec,
+};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ruskey-poolstress-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn small_cfg() -> RusKeyConfig {
+    let mut cfg = RusKeyConfig::scaled_default();
+    cfg.lsm.buffer_bytes = 4096;
+    cfg.lsm.size_ratio = 4;
+    cfg
+}
+
+fn disk() -> Arc<dyn Storage> {
+    SimulatedDisk::new(512, CostModel::NVME)
+}
+
+fn mixed_spec(key_space: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        key_space,
+        key_len: 16,
+        value_len: 48,
+        ..WorkloadSpec::scaled_default(key_space)
+    }
+    .with_mix(OpMix {
+        lookup: 0.35,
+        update: 0.4,
+        delete: 0.1,
+        scan: 0.15,
+    })
+}
+
+/// Acceptance: across ≥ 10 consecutive missions the pool serves every
+/// shard from the *same* OS thread (reuse, not respawn), with exactly
+/// `N` distinct worker threads participating, at `N ∈ {1, 2, 4, 8}`.
+#[test]
+fn worker_threads_are_stable_across_missions() {
+    const MISSIONS: usize = 12;
+    for &n in &[1usize, 2, 4, 8] {
+        let mut db = ShardedRusKey::untuned(small_cfg(), n, disk());
+        db.bulk_load(bulk_load_pairs(2000, 16, 48, 31));
+        let mut g = OpGenerator::new(mixed_spec(2000), 33);
+        assert!(
+            db.last_worker_threads().is_empty(),
+            "no dispatch yet, no worker IDs"
+        );
+        db.run_mission(&g.take_ops(200));
+        let first = db.last_worker_threads().to_vec();
+        assert_eq!(first.len(), n, "{n} shards: one worker per shard");
+        assert_eq!(
+            first.iter().collect::<HashSet<_>>().len(),
+            n,
+            "{n} shards: workers must be distinct OS threads"
+        );
+        for mission in 1..MISSIONS {
+            db.run_mission(&g.take_ops(200));
+            assert_eq!(
+                db.last_worker_threads(),
+                &first[..],
+                "{n} shards, mission {mission}: worker threads changed — the \
+                 pool respawned instead of reusing its threads"
+            );
+            assert_eq!(db.last_parallelism(), n);
+        }
+        // The standalone commit barrier runs on the same workers too.
+        db.group_commit();
+        assert_eq!(
+            db.last_worker_threads(),
+            &first[..],
+            "{n} shards: the commit barrier must reuse the mission workers"
+        );
+    }
+}
+
+/// Acceptance: a multi-mission soak on the pool is bit-identical to a
+/// single-threaded replay of each shard's lane — every shard's full
+/// statistics snapshot (op counters, per-level times, virtual clock) and
+/// the merged get results match a one-shard store executing the lane on
+/// the shard's key partition. Seeded op streams make the soak exactly
+/// reproducible.
+#[test]
+fn pooled_missions_equal_single_threaded_lane_replay() {
+    const MISSIONS: usize = 10;
+    for &n in &[1usize, 2, 4, 8] {
+        let pairs = bulk_load_pairs(2000, 16, 48, 41);
+        let mut pooled = ShardedRusKey::untuned(small_cfg(), n, disk());
+        pooled.bulk_load(pairs.clone());
+
+        let mut g = OpGenerator::new(mixed_spec(2000), 43);
+        let missions: Vec<Vec<Operation>> = (0..MISSIONS).map(|_| g.take_ops(150)).collect();
+        for ops in &missions {
+            pooled.run_mission(ops);
+        }
+
+        for shard in 0..n {
+            let mut solo = ShardedRusKey::untuned(small_cfg(), 1, disk());
+            solo.bulk_load(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| shard_for_key(k, n) == shard)
+                    .cloned()
+                    .collect(),
+            );
+            for ops in &missions {
+                let lane: Vec<Operation> = partition_ops(ops, n)[shard]
+                    .iter()
+                    .map(|op| (*op).clone())
+                    .collect();
+                solo.run_mission(&lane);
+            }
+            assert_eq!(
+                pooled.shard(shard).stats(),
+                solo.shard(0).stats(),
+                "n={n} shard={shard}: pooled execution diverged from the \
+                 single-threaded lane replay"
+            );
+        }
+
+        // Point lookups agree with a single-threaded replay of the whole
+        // stream (shard-merged view).
+        let mut reference = ShardedRusKey::untuned(small_cfg(), 1, disk());
+        reference.bulk_load(pairs);
+        for ops in &missions {
+            reference.run_mission(ops);
+        }
+        for key_id in (0..2000u64).step_by(37) {
+            let k = encode_key(key_id, 16);
+            assert_eq!(
+                pooled.get(&k),
+                reference.get(&k),
+                "n={n} key={key_id}: pooled get diverged"
+            );
+        }
+    }
+}
+
+/// Acceptance: a shard worker panic mid-soak surfaces as a clean
+/// [`MissionError`] naming the shard — the mission returns (no hang),
+/// the engine refuses further work instead of running without the
+/// shard, and dropping the store joins cleanly.
+#[test]
+fn worker_panic_surfaces_as_clean_error_not_a_hang() {
+    for &n in &[2usize, 4] {
+        let mut db = ShardedRusKey::untuned(small_cfg(), n, disk());
+        db.bulk_load(bulk_load_pairs(800, 16, 48, 51));
+        let mut g = OpGenerator::new(mixed_spec(800), 53);
+        for _ in 0..3 {
+            db.try_run_mission(&g.take_ops(100)).expect("healthy pool");
+        }
+        let victim = n - 1;
+        db.inject_worker_panic(victim);
+        let err = db
+            .try_run_mission(&g.take_ops(100))
+            .expect_err("a panicked worker must fail the mission");
+        match err {
+            MissionError::WorkerPanicked { shard } | MissionError::WorkerUnavailable { shard } => {
+                assert_eq!(shard, victim, "n={n}: wrong shard blamed");
+            }
+            MissionError::Wal { .. } => panic!("n={n}: wrong error kind: {err}"),
+        }
+        // The engine stays dead — later missions and barriers error too.
+        assert!(db.try_run_mission(&g.take_ops(50)).is_err());
+        assert!(db.try_group_commit().is_err());
+        drop(db); // must join without hanging or double-panicking
+    }
+}
+
+/// One step of the random durable workload (update-only so the WAL
+/// ground truth is derivable from routing alone).
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| PoolOp::Put(k % 200, v)),
+        1 => any::<u16>().prop_map(|k| PoolOp::Delete(k % 200)),
+        2 => any::<u16>().prop_map(|k| PoolOp::Get(k % 200)),
+    ]
+}
+
+fn to_operation(op: &PoolOp) -> Operation {
+    match *op {
+        PoolOp::Put(k, v) => Operation::Put {
+            key: encode_key(k as u64, 16),
+            value: bytes::Bytes::from(vec![v; 8]),
+        },
+        PoolOp::Delete(k) => Operation::Delete {
+            key: encode_key(k as u64, 16),
+        },
+        PoolOp::Get(k) => Operation::Get {
+            key: encode_key(k as u64, 16),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// For any op mix and shard count, the mission report of a durable
+    /// pooled store obeys the overlapped-barrier composition
+    /// (`commit_ns` = max over concurrent legs ≤ `commit_busy_ns` =
+    /// their sum, with equality at one shard) and its WAL counters are
+    /// invariant under the pool rewrite: `wal_appends` equals the
+    /// mission's write count and `wal_syncs` equals the number of shards
+    /// whose lane carried at least one write — ground truth derived from
+    /// routing, independent of the executor.
+    #[test]
+    fn commit_composition_and_wal_counters_match_routing_ground_truth(
+        ops in prop::collection::vec(pool_op(), 1..120),
+        shards in 1usize..5,
+    ) {
+        let dir = wal_dir("proptest");
+        let dur = DurabilityConfig::group_commit(&dir);
+        // A buffer large enough that nothing flushes mid-mission: every
+        // logged record is acknowledged by the barrier fsync, so the
+        // sync ground truth is exactly "lanes with ≥ 1 write".
+        let mut cfg = RusKeyConfig::scaled_default();
+        cfg.lsm.buffer_bytes = 1 << 20;
+        cfg.lsm.size_ratio = 4;
+        let mut db = ShardedRusKey::try_with_tuner_durable(
+            cfg,
+            shards,
+            disk(),
+            Box::new(NoOpTuner),
+            &dur,
+        )
+        .expect("open durable store");
+
+        let mission: Vec<Operation> = ops.iter().map(to_operation).collect();
+        let writes = mission
+            .iter()
+            .filter(|o| matches!(o, Operation::Put { .. } | Operation::Delete { .. }))
+            .count() as u64;
+        let lanes_with_writes = partition_ops(&mission, shards)
+            .iter()
+            .filter(|lane| {
+                lane.iter()
+                    .any(|o| matches!(o, Operation::Put { .. } | Operation::Delete { .. }))
+            })
+            .count() as u64;
+
+        let r = db.run_mission(&mission);
+        prop_assert_eq!(r.wal_appends, writes, "every write logged exactly once");
+        prop_assert_eq!(
+            r.wal_syncs, lanes_with_writes,
+            "one fsync per shard whose lane wrote, none for idle shards"
+        );
+        prop_assert_eq!(r.wal_synced, r.wal_appends, "the barrier acknowledges the batch");
+        prop_assert!(
+            r.commit_ns <= r.commit_busy_ns,
+            "barrier latency (max, {}) exceeded the sequential sum ({})",
+            r.commit_ns, r.commit_busy_ns
+        );
+        if shards == 1 {
+            prop_assert_eq!(r.commit_ns, r.commit_busy_ns, "one shard: max == sum");
+        }
+        if writes > 0 {
+            prop_assert!(r.commit_ns > 0, "a written batch has a nonzero barrier cost");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,11 @@
 //! for the same operation sequence — identical get/scan results for any
 //! `N`, and identical mission-report counters at `N = 1` — plus routing
 //! determinism and real OS-thread parallelism.
+//!
+//! `N = 1` is *not* an inline special case: it dispatches through the
+//! same persistent worker pool as every other shard count (a single
+//! worker thread), and the counter-equality test below is what pins that
+//! the pooled path reproduces the pre-pool seed behavior exactly.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -45,9 +50,11 @@ fn mixed_spec(key_space: u64) -> WorkloadSpec {
     })
 }
 
-/// Acceptance: for identical op sequences, `ShardedRusKey` with `N = 1`
-/// produces the same mission-report counters (ops, updates, gamma, and the
-/// full virtual-time accounting) as `RusKey`.
+/// Acceptance: for identical op sequences, `ShardedRusKey` with `N = 1` —
+/// running on the worker pool, not an inline fast path — produces the
+/// same mission-report counters (ops, updates, gamma, and the full
+/// virtual-time accounting) as `RusKey`, and serves every mission from
+/// one stable pool thread.
 #[test]
 fn single_shard_mission_counters_equal_ruskey() {
     let mut single = RusKey::with_tuner(small_cfg(), disk(), Box::new(FixedPolicy::moderate()));
@@ -60,12 +67,30 @@ fn single_shard_mission_counters_equal_ruskey() {
 
     let mut g1 = OpGenerator::new(mixed_spec(2000), 9);
     let mut g2 = OpGenerator::new(mixed_spec(2000), 9);
+    let mut worker = None;
     for mission in 0..6 {
         let ops1 = g1.take_ops(300);
         let ops2 = g2.take_ops(300);
         assert_eq!(ops1, ops2, "generators must agree");
         let r1 = single.run_mission(&ops1);
         let r2 = sharded.run_mission(&ops2);
+        // The pooled N = 1 path: exactly one worker thread, the same one
+        // every mission.
+        assert_eq!(sharded.last_parallelism(), 1, "mission {mission}");
+        let ids = sharded.last_worker_threads().to_vec();
+        assert_eq!(ids.len(), 1, "mission {mission}");
+        match worker {
+            None => worker = Some(ids[0]),
+            Some(w) => assert_eq!(w, ids[0], "mission {mission}: pool respawned"),
+        }
+        assert_eq!(
+            r1.commit_ns, r2.commit_ns,
+            "mission {mission}: commit barrier latency"
+        );
+        assert_eq!(
+            r2.commit_ns, r2.commit_busy_ns,
+            "mission {mission}: one shard means max == sum for the barrier"
+        );
         assert_eq!(r1.ops, r2.ops, "mission {mission}");
         assert_eq!(r1.lookups, r2.lookups, "mission {mission}");
         assert_eq!(r1.updates, r2.updates, "mission {mission}");
@@ -190,7 +215,7 @@ fn shard_routing_is_deterministic() {
 }
 
 /// Acceptance: parallel mission execution across shards uses ≥ 2 OS
-/// threads (one scoped worker per shard).
+/// threads (one persistent pool worker per shard).
 #[test]
 fn parallel_missions_run_on_multiple_os_threads() {
     let mut db = ShardedRusKey::untuned(small_cfg(), 4, disk());
