@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
-//!   bruteforce  shard_scaling  durability  all  ablations  lab
+//!   bruteforce  shard_scaling  durability  persistence  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -288,11 +288,10 @@ fn run_ablations(scale: &ExperimentScale) {
     println!();
 }
 
-fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
-    println!("== Shard scaling: throughput vs shard count (balanced workload) ==");
-    let rows = shard_scaling(scale, &[1, 2, 4, 8]);
+fn print_scaling_rows(rows: &[ShardScalingRow]) {
     println!(
-        "{:<8}{:>12}{:>14}{:>20}{:>20}{:>16}{:>10}",
+        "{:<12}{:<8}{:>12}{:>14}{:>20}{:>20}{:>16}{:>10}",
+        "backend",
         "shards",
         "wall (s)",
         "kops/s",
@@ -301,9 +300,10 @@ fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Opt
         "real µs/mission",
         "threads"
     );
-    for r in &rows {
+    for r in rows {
         println!(
-            "{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>16.1}{:>10}",
+            "{:<12}{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>16.1}{:>10}",
+            r.backend,
             r.shards,
             r.wall_s,
             r.kops_per_s,
@@ -313,10 +313,58 @@ fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Opt
             r.parallelism
         );
     }
+}
+
+fn run_shard_scaling(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Shard scaling: throughput vs shard count (balanced workload) ==");
+    let mut rows = shard_scaling(scale, &[1, 2, 4, 8]);
+    // The real-file variant: one FileDisk directory (independent file
+    // handles + manifest + WAL) per shard, so real wall time scales with
+    // the shard count instead of serializing on one device handle.
+    rows.extend(shard_scaling_filedisk(scale, &[1, 2, 4]));
+    print_scaling_rows(&rows);
     let path = json_path
         .clone()
         .unwrap_or_else(|| "shard_scaling.json".to_string());
     let json = shard_scaling_json(scale_label, &rows);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
+fn run_persistence(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Persistence: manifest + on-disk run recovery over FileDisk ==");
+    let rows = persistence(scale, &[1, 2, 4]);
+    println!(
+        "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}",
+        "shards",
+        "ops",
+        "flushes",
+        "manifest edits",
+        "runs recovered",
+        "replayed tail",
+        "checked keys",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}",
+            r.shards,
+            r.ops_total,
+            r.flushes,
+            r.manifest_edits,
+            r.runs_recovered,
+            r.replayed_tail,
+            r.checked_keys,
+            r.ok
+        );
+    }
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "persistence.json".to_string());
+    let json = persistence_json(scale_label, &rows);
     match std::fs::write(&path, json) {
         Ok(()) => println!("  [json] {path}"),
         Err(e) => eprintln!("  [json] could not write {path}: {e}"),
@@ -452,7 +500,7 @@ fn main() {
     if want("bruteforce") {
         run_bruteforce(scale);
     }
-    if want("shard_scaling") || want("durability") {
+    if want("shard_scaling") || want("durability") || want("persistence") {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
             n if n <= 2_000 => "tiny",
@@ -471,6 +519,14 @@ fn main() {
                 &None
             };
             run_durability(scale, label, json);
+        }
+        if want("persistence") {
+            let json = if args.experiment == "persistence" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_persistence(scale, label, json);
         }
     }
     if args.experiment == "ablations" {

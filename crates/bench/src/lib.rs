@@ -12,10 +12,12 @@ pub mod ablations;
 pub mod durability;
 pub mod experiments;
 pub mod output;
+pub mod persistence;
 pub mod scaling;
 
 pub use ablations::*;
 pub use durability::*;
 pub use experiments::*;
 pub use output::*;
+pub use persistence::*;
 pub use scaling::*;

@@ -2,6 +2,7 @@
 
 use crate::durability::DurabilityRow;
 use crate::experiments::{Comparison, RankingTable, Series};
+use crate::persistence::PersistenceRow;
 use crate::scaling::ShardScalingRow;
 
 /// Renders a mission-series comparison as CSV: `mission,method,...`.
@@ -85,10 +86,12 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"wall_s\": {:.6}, \
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"missions\": {}, \"ops_total\": {}, \
+             \"wall_s\": {:.6}, \
              \"kops_per_s\": {:.3}, \"virtual_wall_ns_per_op\": {:.1}, \
              \"virtual_busy_ns_per_op\": {:.1}, \"real_us_per_mission\": {:.1}, \
              \"parallelism\": {}}}{}\n",
+            r.backend,
             r.shards,
             r.missions,
             r.ops_total,
@@ -147,6 +150,43 @@ pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
             r.commit_ns_per_mission,
             r.commit_busy_ns_per_mission,
             r.recovered_records,
+            r.ok,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the persistence experiment as machine-readable JSON. Each row
+/// carries the restart-equivalence accounting (flushes before the
+/// restart, manifest edits, runs rebuilt from data pages, WAL records
+/// replayed on top, keys compared) plus a per-row `ok` verdict; the
+/// top-level `persistence_ok` is the conjunction, which CI greps as a
+/// smoke check (a `FileDisk`-backed store at every shard count survives
+/// drop + recover get/scan-identical with its flushed runs intact).
+pub fn persistence_json(scale_label: &str, rows: &[PersistenceRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"persistence\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!(
+        "  \"persistence_ok\": {},\n",
+        rows.iter().all(|r| r.ok)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"flushes\": {}, \
+             \"manifest_edits\": {}, \"runs_recovered\": {}, \"replayed_tail\": {}, \
+             \"checked_keys\": {}, \"ok\": {}}}{}\n",
+            r.shards,
+            r.missions,
+            r.ops_total,
+            r.flushes,
+            r.manifest_edits,
+            r.runs_recovered,
+            r.replayed_tail,
+            r.checked_keys,
             r.ok,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -237,6 +277,7 @@ mod tests {
     fn shard_scaling_json_is_well_formed() {
         let rows = vec![
             ShardScalingRow {
+                backend: "simulated",
                 shards: 1,
                 missions: 10,
                 ops_total: 1000,
@@ -248,6 +289,7 @@ mod tests {
                 parallelism: 1,
             },
             ShardScalingRow {
+                backend: "file",
                 shards: 4,
                 missions: 10,
                 ops_total: 1000,
@@ -262,6 +304,8 @@ mod tests {
         let json = shard_scaling_json("small", &rows);
         assert!(json.contains("\"experiment\": \"shard_scaling\""));
         assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"backend\": \"simulated\""));
+        assert!(json.contains("\"backend\": \"file\""));
         // Both time compositions are named explicitly in every row.
         assert_eq!(json.matches("\"virtual_wall_ns_per_op\":").count(), 2);
         assert_eq!(json.matches("\"virtual_busy_ns_per_op\":").count(), 2);
@@ -300,6 +344,32 @@ mod tests {
         // the overlap verdict (the barrier max can never beat the sum).
         let bad = durability_json("tiny", &[row(4, 300.0, 200.0)]);
         assert!(bad.contains("\"overlap_ok\": false"));
+    }
+
+    #[test]
+    fn persistence_json_carries_the_verdict() {
+        let row = |shards: usize, ok: bool| PersistenceRow {
+            shards,
+            missions: 4,
+            ops_total: 400,
+            flushes: 6,
+            manifest_edits: 30,
+            runs_recovered: 5,
+            replayed_tail: 12,
+            checked_keys: 100,
+            ok,
+        };
+        let json = persistence_json("tiny", &[row(1, true), row(2, true)]);
+        assert!(json.contains("\"experiment\": \"persistence\""));
+        assert!(json.contains("\"persistence_ok\": true"));
+        assert_eq!(json.matches("\"runs_recovered\":").count(), 2);
+        assert_eq!(json.matches("\"replayed_tail\":").count(), 2);
+        // One failing row flips the top-level verdict.
+        let bad = persistence_json("tiny", &[row(1, true), row(2, false)]);
+        assert!(bad.contains("\"persistence_ok\": false"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -95,6 +95,30 @@
 //! only, order pinned by record sequence numbers) into fresh trees;
 //! `tests/crash_recovery.rs` pins the recovery contract at every
 //! [`ruskey_lsm::CrashPoint`] for `N ∈ {1, 2, 4}`.
+//!
+//! ## Full-store persistence: per-shard `FileDisk` + manifest
+//!
+//! The WAL protects only the write buffer; a store opened with
+//! [`ShardedRusKey::try_with_tuner_persistent`] is durable **below** the
+//! buffer too. Every shard gets its own directory
+//! ([`PersistenceConfig`]): an independent
+//! [`FileDisk`](ruskey_storage::FileDisk) for its data pages (private
+//! file handles — the sharded real-file path carries no shared device
+//! lock, and each disk's clock is the shard's time domain), a
+//! [`Manifest`] that records the shard's run/level structure as atomic
+//! per-mutation edit batches (with checkpoint compaction of the log
+//! itself), and the shard's WAL. The ordering contract — data pages,
+//! then manifest commit, then WAL truncation, with obsolete pages freed
+//! only after the commit — means [`ShardedRusKey::recover_persistent`]
+//! always rebuilds a consistent store: each manifest's longest
+//! consistent prefix is folded back into levels, every recorded run is
+//! rebuilt from its pages (fences and Bloom filters re-derived
+//! identically), and the WAL tail replays on top, so the recovered
+//! store is get/scan-identical to the one that was dropped.
+//! `tests/persistence_restart.rs` pins restart equivalence at
+//! `N ∈ {1, 2, 4}`; the manifest crash matrix in
+//! `tests/crash_recovery.rs` pins every
+//! [`ruskey_lsm::ManifestCrashPoint`].
 
 use std::collections::{BinaryHeap, HashSet};
 use std::path::PathBuf;
@@ -104,8 +128,8 @@ use std::thread::{self, JoinHandle, ThreadId};
 use std::time::Instant;
 
 use bytes::Bytes;
-use ruskey_lsm::{ConfigError, FlsmTree, TreeStatsSnapshot, Wal};
-use ruskey_storage::{ShardStorage, Storage};
+use ruskey_lsm::{ConfigError, FlsmTree, Manifest, TreeStatsSnapshot, Wal};
+use ruskey_storage::{CostModel, FileDisk, ShardStorage, Storage};
 use ruskey_workload::routing::{partition_ops_owned, shard_for_key};
 use ruskey_workload::Operation;
 
@@ -143,6 +167,94 @@ impl DurabilityConfig {
     }
 }
 
+/// Full-store persistence settings: where each shard's on-disk state
+/// lives and how the two logs behave.
+///
+/// A persistent store gives every shard its **own directory** under
+/// `root`, holding an independent [`FileDisk`] (its own file handles —
+/// shards never serialize against each other on the real-file path), a
+/// [`Manifest`] recording the shard's run/level structure, and a WAL for
+/// its write buffer:
+///
+/// ```text
+/// root/
+///   shard-0/ data/extent-*.run  MANIFEST  wal
+///   shard-1/ data/extent-*.run  MANIFEST  wal
+///   ...
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistenceConfig {
+    /// Root directory of the store; one subdirectory per shard.
+    pub root: PathBuf,
+    /// Page size of the per-shard file disks.
+    pub page_size: usize,
+    /// Cost model charged for the (real) page I/O, keeping virtual-time
+    /// accounting comparable with the simulated backend.
+    pub cost: CostModel,
+    /// Per-shard WAL auto-fsync cadence (records); 0 relies solely on
+    /// the cross-shard group-commit barrier.
+    pub sync_every: u64,
+    /// Auto-compact each shard's manifest once this many structural
+    /// edits accumulate since the last checkpoint (0 = never).
+    pub checkpoint_every: u64,
+}
+
+impl PersistenceConfig {
+    /// Defaults: 4 KiB pages, the NVMe cost model, group-commit-only WAL
+    /// syncs, and a manifest checkpoint every 1024 edits.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            page_size: ruskey_storage::DEFAULT_PAGE_SIZE,
+            cost: CostModel::NVME,
+            sync_every: 0,
+            checkpoint_every: 1024,
+        }
+    }
+
+    /// One shard's directory.
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}"))
+    }
+
+    /// One shard's data-page directory (its `FileDisk` root).
+    pub fn data_dir(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join("data")
+    }
+
+    /// One shard's manifest path.
+    pub fn manifest_path(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join("MANIFEST")
+    }
+
+    /// One shard's WAL path.
+    pub fn wal_path(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join("wal")
+    }
+
+    /// Number of shards the on-disk layout describes (highest `shard-<i>`
+    /// directory index + 1), or 0 for a fresh root.
+    pub fn shards_described(&self) -> std::io::Result<usize> {
+        let mut described = 0usize;
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let name = entry?.file_name();
+            if let Some(idx) = name
+                .to_string_lossy()
+                .strip_prefix("shard-")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                described = described.max(idx + 1);
+            }
+        }
+        Ok(described)
+    }
+}
+
 /// Why a durable store could not be opened or recovered.
 #[derive(Debug)]
 pub enum OpenError {
@@ -169,7 +281,8 @@ impl std::fmt::Display for OpenError {
             OpenError::ShardCountMismatch { logs, shards } => write!(
                 f,
                 "log directory describes {logs} shards but recovery was asked \
-                 for {shards}; recovering would drop acknowledged writes"
+                 for {shards}; the routing hash keys on the shard count, so a \
+                 mismatch would drop or misroute acknowledged writes"
             ),
         }
     }
@@ -539,6 +652,129 @@ impl ShardedRusKey {
         Ok(store)
     }
 
+    /// Creates a **fully persistent** sharded store: every shard gets its
+    /// own directory under `persistence.root` with an independent
+    /// [`FileDisk`] for its data pages, a [`Manifest`] recording its
+    /// run/level structure (committed atomically on every flush,
+    /// compaction, and transition), and a WAL for its write buffer (one
+    /// fsync per shard per mission via the group-commit barrier). Such a
+    /// store survives a full restart — flushed runs included — through
+    /// [`ShardedRusKey::recover_persistent`].
+    ///
+    /// Any previous incarnation under the same root is wiped first (a
+    /// fresh store restarts sequence numbers at 1; `recover_persistent`
+    /// is the explicit path for continuing).
+    pub fn try_with_tuner_persistent(
+        cfg: RusKeyConfig,
+        shards: usize,
+        tuner: Box<dyn Tuner>,
+        persistence: &PersistenceConfig,
+    ) -> Result<Self, OpenError> {
+        assert!(shards >= 1, "a store needs at least one shard");
+        cfg.lsm.validate()?;
+        // Wipe the *whole* previous incarnation, including shard dirs
+        // beyond the new count — a leftover higher-index directory would
+        // make every later `recover_persistent` refuse the store as a
+        // shard-count mismatch.
+        for i in 0..shards.max(persistence.shards_described()?) {
+            match std::fs::remove_dir_all(persistence.shard_dir(i)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut trees = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let data = persistence.data_dir(i);
+            std::fs::create_dir_all(&data)?;
+            let disk: Arc<dyn Storage> =
+                FileDisk::new(&data, persistence.page_size, persistence.cost)?;
+            let mut tree = FlsmTree::try_new(cfg.lsm.clone(), disk)?;
+            tree.attach_manifest(Manifest::create(
+                persistence.manifest_path(i),
+                persistence.checkpoint_every,
+            )?);
+            tree.attach_wal(Wal::open_with_sync_every(
+                persistence.wal_path(i),
+                persistence.sync_every,
+            )?);
+            trees.push(Some(tree));
+        }
+        Ok(Self {
+            shards: trees,
+            pool: WorkerPool::spawn(shards),
+            tuner,
+            collector: StatsCollector::new(),
+            last_report: None,
+            last_workers: Vec::new(),
+            adhoc_scans: 0,
+            dead_worker: None,
+        })
+    }
+
+    /// Recovers a fully persistent sharded store after a restart: each
+    /// shard reopens its [`FileDisk`] directory, folds its manifest's
+    /// longest consistent prefix back into the run/level structure
+    /// (rebuilding every run from its data pages, with fence pointers and
+    /// Bloom filters re-derived identically), and replays its WAL tail on
+    /// top — so the recovered store is get/scan-identical to the store
+    /// that was dropped. The statistics baseline is reset so the first
+    /// mission's report excludes recovery work; the lifetime recovery
+    /// counters (`manifest_edits`, `runs_recovered`, `replayed_tail`)
+    /// surface through [`TreeStatsSnapshot`] and [`MissionReport`].
+    ///
+    /// The same `shards` count that produced the layout must be passed
+    /// (the routing hash keys on it); recovering fewer shards than the
+    /// root describes is refused.
+    pub fn recover_persistent(
+        cfg: RusKeyConfig,
+        shards: usize,
+        tuner: Box<dyn Tuner>,
+        persistence: &PersistenceConfig,
+    ) -> Result<Self, OpenError> {
+        assert!(shards >= 1, "a store needs at least one shard");
+        cfg.lsm.validate()?;
+        // A persistent store always creates every shard directory, so the
+        // layout describes its exact creation count: recovery must match
+        // it in *both* directions — fewer shards would drop acknowledged
+        // writes, more would misroute them (the hash keys on the count)
+        // and silently hide durable data behind empty shards.
+        let described = persistence.shards_described()?;
+        if described != 0 && described != shards {
+            return Err(OpenError::ShardCountMismatch {
+                logs: described,
+                shards,
+            });
+        }
+        let mut trees = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let data = persistence.data_dir(i);
+            std::fs::create_dir_all(&data)?;
+            let disk: Arc<dyn Storage> =
+                FileDisk::new(&data, persistence.page_size, persistence.cost)?;
+            trees.push(Some(FlsmTree::recover_persistent(
+                cfg.lsm.clone(),
+                disk,
+                persistence.manifest_path(i),
+                persistence.wal_path(i),
+                persistence.sync_every,
+                persistence.checkpoint_every,
+            )?));
+        }
+        let mut store = Self {
+            shards: trees,
+            pool: WorkerPool::spawn(shards),
+            tuner,
+            collector: StatsCollector::new(),
+            last_report: None,
+            last_workers: Vec::new(),
+            adhoc_scans: 0,
+            dead_worker: None,
+        };
+        store.collector.baseline_shards(store.shard_snapshots());
+        Ok(store)
+    }
+
     /// Recovers a durable sharded store after a crash: each shard's WAL
     /// is replayed (valid prefix only, order pinned by record sequence
     /// numbers, torn tails truncated away) into a fresh tree, and the
@@ -679,11 +915,11 @@ impl ShardedRusKey {
         self.tree_mut(idx)
     }
 
-    /// True if any shard's WAL simulated a process crash (fault
-    /// injection): the store's write path is dead and the harness should
+    /// True if any shard's WAL *or manifest* simulated a process crash
+    /// (fault injection): the store is dead and the harness should
     /// recover from the logs.
     pub fn crashed(&self) -> bool {
-        self.shards.iter().flatten().any(FlsmTree::wal_crashed)
+        self.shards.iter().flatten().any(FlsmTree::crashed)
     }
 
     /// Test hook (`tests/pool_stress.rs`): makes the given shard's worker
@@ -1313,6 +1549,126 @@ mod tests {
             .try_run_mission(&g.take_ops(50))
             .expect_err("the engine must stay dead");
         assert!(err2.to_string().contains("shard 1"), "{err2}");
+    }
+
+    /// The full-store persistence path at the store level: flushed runs
+    /// and the WAL tail survive a drop + recover, and recovery counters
+    /// flow into the next mission's report.
+    #[test]
+    fn persistent_store_survives_restart() {
+        let root = std::env::temp_dir().join(format!(
+            "ruskey-sharded-persist-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut pcfg = PersistenceConfig::new(&root);
+        pcfg.page_size = 512;
+        pcfg.cost = CostModel::FREE;
+        let mut cfg = small_cfg();
+        cfg.lsm.buffer_bytes = 2048; // force flushes: runs must hit disk
+        let mut db =
+            ShardedRusKey::try_with_tuner_persistent(cfg.clone(), 2, Box::new(NoOpTuner), &pcfg)
+                .expect("open persistent store");
+        for i in 0..300u64 {
+            db.put(ruskey_workload::encode_key(i, 16), vec![i as u8; 24]);
+        }
+        db.delete(ruskey_workload::encode_key(5, 16));
+        db.group_commit();
+        let flushes = db.stats().flushes;
+        assert!(flushes > 0, "scenario must flush runs to disk");
+        drop(db);
+
+        let mut rec = ShardedRusKey::recover_persistent(cfg.clone(), 2, Box::new(NoOpTuner), &pcfg)
+            .expect("recover persistent store");
+        let s = rec.stats();
+        assert!(s.runs_recovered > 0, "flushed runs must be rebuilt");
+        assert!(s.manifest_edits > 0);
+        for i in 0..300u64 {
+            let got = rec.get(&ruskey_workload::encode_key(i, 16));
+            if i == 5 {
+                assert_eq!(got, None, "tombstone lost across restart");
+            } else {
+                assert_eq!(
+                    got.as_deref(),
+                    Some(vec![i as u8; 24].as_slice()),
+                    "key {i}"
+                );
+            }
+        }
+        // Recovery counters surface through the next mission's report.
+        let spec = WorkloadSpec {
+            key_space: 300,
+            value_len: 24,
+            ..WorkloadSpec::scaled_default(300)
+        };
+        let mut g = OpGenerator::new(spec, 3);
+        let r = rec.run_mission(&g.take_ops(100));
+        assert_eq!(r.runs_recovered, s.runs_recovered);
+        assert!(r.manifest_edits >= s.manifest_edits);
+        // Wrong shard counts are refused in *both* directions: fewer
+        // would drop acknowledged writes, more would misroute keys and
+        // hide durable data behind empty shards.
+        drop(rec);
+        let err = ShardedRusKey::recover_persistent(cfg.clone(), 1, Box::new(NoOpTuner), &pcfg)
+            .err()
+            .expect("recovering fewer shards than described must fail");
+        assert!(err.to_string().contains("2 shards"), "{err}");
+        let err = ShardedRusKey::recover_persistent(cfg, 4, Box::new(NoOpTuner), &pcfg)
+            .err()
+            .expect("recovering more shards than described must fail");
+        assert!(err.to_string().contains("2 shards"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A fresh persistent store wipes the *whole* previous incarnation:
+    /// shard directories beyond the new count must not survive, or every
+    /// later recovery would refuse the store as a shard-count mismatch.
+    #[test]
+    fn fresh_persistent_store_wipes_a_wider_previous_incarnation() {
+        let root = std::env::temp_dir().join(format!(
+            "ruskey-sharded-rewipe-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut pcfg = PersistenceConfig::new(&root);
+        pcfg.page_size = 512;
+        pcfg.cost = CostModel::FREE;
+        {
+            let mut wide = ShardedRusKey::try_with_tuner_persistent(
+                small_cfg(),
+                4,
+                Box::new(NoOpTuner),
+                &pcfg,
+            )
+            .expect("open 4-shard store");
+            wide.put(ruskey_workload::encode_key(1, 16), vec![1u8; 8]);
+            wide.group_commit();
+        }
+        {
+            let mut narrow = ShardedRusKey::try_with_tuner_persistent(
+                small_cfg(),
+                2,
+                Box::new(NoOpTuner),
+                &pcfg,
+            )
+            .expect("open 2-shard store over the old root");
+            narrow.put(ruskey_workload::encode_key(2, 16), vec![2u8; 8]);
+            narrow.group_commit();
+        }
+        let mut rec = ShardedRusKey::recover_persistent(small_cfg(), 2, Box::new(NoOpTuner), &pcfg)
+            .expect("a stale wider incarnation must not block recovery");
+        assert_eq!(
+            rec.get(&ruskey_workload::encode_key(2, 16)).as_deref(),
+            Some(vec![2u8; 8].as_slice())
+        );
+        assert_eq!(
+            rec.get(&ruskey_workload::encode_key(1, 16)),
+            None,
+            "the old incarnation's data must be gone"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -77,6 +77,19 @@ pub struct MissionReport {
     /// for. Equals `commit_ns` for a single-shard store; the pool-rewrite
     /// proptest pins `commit_ns <= commit_busy_ns` for any op mix.
     pub commit_busy_ns: u64,
+    /// Lifetime structural edits through the shards' manifests (replayed
+    /// at recovery plus committed since; summed over shards). Unlike the
+    /// counters above this is **not** a per-mission delta: recovery
+    /// counters describe the store, so the report carries the current
+    /// lifetime reading for the `repro persistence` experiment. 0 for a
+    /// non-persistent store.
+    pub manifest_edits: u64,
+    /// Runs rebuilt from manifest + data pages by the last recovery
+    /// (lifetime, summed over shards).
+    pub runs_recovered: u64,
+    /// WAL records replayed on top of the recovered structure by the
+    /// last recovery (lifetime, summed over shards).
+    pub replayed_tail: u64,
     /// Real wall-clock time spent processing the mission (ns) — used by the
     /// Fig. 13 model-cost comparison.
     pub real_process_ns: u64,
@@ -223,6 +236,11 @@ impl StatsCollector {
             wal_appends: d.wal_appends,
             wal_syncs: d.wal_syncs,
             wal_synced: d.wal_synced,
+            // Recovery/manifest counters are lifetime store facts, not
+            // mission deltas: report the current reading.
+            manifest_edits: end_snapshots.iter().map(|s| s.manifest_edits).sum(),
+            runs_recovered: end_snapshots.iter().map(|s| s.runs_recovered).sum(),
+            replayed_tail: end_snapshots.iter().map(|s| s.replayed_tail).sum(),
             commit_ns: 0,
             commit_busy_ns: 0,
             levels,

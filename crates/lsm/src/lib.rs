@@ -24,7 +24,13 @@
 //!   truncates on flush, and [`tree::FlsmTree::recover`] rebuilds the
 //!   write buffer from the log's valid prefix after a crash (see the
 //!   [`wal`] module docs for the durability contract and crash-injection
-//!   hooks).
+//!   hooks);
+//! * a versioned, checksummed [`manifest`] that records every structural
+//!   edit (runs created/removed, policy transitions, flush watermarks) as
+//!   an append-only log with atomic checkpoint compaction, so
+//!   [`tree::FlsmTree::recover_persistent`] can rebuild the *full*
+//!   run/level structure from the manifest plus the data pages on a
+//!   persistent storage backend, replaying the WAL tail on top.
 //!
 //! All I/O goes through the [`ruskey_storage::Storage`] abstraction so the
 //! engine runs identically on the simulated device and on real files.
@@ -38,6 +44,7 @@ pub mod entry;
 pub mod fence;
 pub mod iter;
 pub mod level;
+pub mod manifest;
 pub mod memtable;
 pub mod monkey;
 pub mod run;
@@ -48,6 +55,7 @@ pub mod types;
 pub mod wal;
 
 pub use config::{BloomScheme, ConfigError, LsmConfig};
+pub use manifest::{Manifest, ManifestCrashPoint, ManifestEdit, ManifestState, RunRecord};
 pub use stats::{LevelStatsSnapshot, TreeStatsSnapshot};
 pub use transition::TransitionStrategy;
 pub use tree::FlsmTree;

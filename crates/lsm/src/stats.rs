@@ -158,6 +158,14 @@ pub struct TreeStatsSnapshot {
     /// fsync, or superseded by a memtable flush that persisted them into
     /// the tree.
     pub wal_synced: u64,
+    /// Lifetime structural edits through the tree's manifest: replayed at
+    /// recovery plus committed since (0 when the tree runs without one).
+    pub manifest_edits: u64,
+    /// Runs rebuilt from manifest + data pages by the last recovery.
+    pub runs_recovered: u64,
+    /// WAL records replayed on top of the recovered structure by the
+    /// last recovery.
+    pub replayed_tail: u64,
     /// Per-level snapshots, index 0 = the paper's Level 1.
     pub levels: Vec<LevelStatsSnapshot>,
 }
@@ -197,6 +205,9 @@ impl TreeStatsSnapshot {
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
             wal_synced: self.wal_synced.saturating_sub(earlier.wal_synced),
+            manifest_edits: self.manifest_edits.saturating_sub(earlier.manifest_edits),
+            runs_recovered: self.runs_recovered.saturating_sub(earlier.runs_recovered),
+            replayed_tail: self.replayed_tail.saturating_sub(earlier.replayed_tail),
             levels,
         }
     }
@@ -230,6 +241,9 @@ impl TreeStatsSnapshot {
             wal_appends: self.wal_appends + other.wal_appends,
             wal_syncs: self.wal_syncs + other.wal_syncs,
             wal_synced: self.wal_synced + other.wal_synced,
+            manifest_edits: self.manifest_edits + other.manifest_edits,
+            runs_recovered: self.runs_recovered + other.runs_recovered,
+            replayed_tail: self.replayed_tail + other.replayed_tail,
             levels,
         }
     }

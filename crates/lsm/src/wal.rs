@@ -46,10 +46,17 @@
 //! `seq` before reinsertion so recovery is deterministic regardless of how
 //! the log was produced.
 //!
-//! Note the WAL protects the *write buffer* only: runs flushed to the
-//! [`ruskey_storage::Storage`] backend are that backend's durability
-//! concern (a manifest would extend recovery to the tree structure; the
-//! simulated backend is deliberately volatile).
+//! Note the WAL protects the *write buffer* only — one half of the
+//! engine's two-log durability contract. The other half is the
+//! [`crate::manifest::Manifest`], which records the tree *structure*
+//! (runs, levels, policies) so that on a persistent backend
+//! ([`ruskey_storage::FileDisk`]) flushed runs survive a restart too:
+//! [`crate::FlsmTree::recover_persistent`] rebuilds the structure from
+//! manifest + data pages and replays this log's tail on top. A flush
+//! truncates the WAL only *after* the manifest batch covering the
+//! flushed run is durable, so every acknowledged write is always covered
+//! by at least one of the logs. On the deliberately volatile simulated
+//! backend the WAL is the whole recovery story.
 //!
 //! ## Crash injection
 //!
@@ -70,8 +77,8 @@ use bytes::Bytes;
 use crate::types::{KvEntry, OpKind};
 
 /// CRC-32 (IEEE) over `data`, bitwise implementation (no table needed at
-/// these log volumes).
-fn crc32(data: &[u8]) -> u32 {
+/// these log volumes). Shared with the manifest's record framing.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= b as u32;

@@ -36,39 +36,66 @@
 //! missions), single-threaded-replay determinism, and clean panic
 //! propagation.
 //!
-//! # Durability & recovery
+//! # Durability & recovery: the two-log contract
 //!
-//! The write path is durable: each shard owns a write-ahead log
-//! ([`lsm::Wal`]) to which every put/delete is appended *before* the
-//! memtable insert, truncated whenever a memtable flush supersedes it.
-//! Per-record fsyncs would dominate write cost, so the sharded store
-//! instead runs a **cross-shard group commit**: every mission ends with a
-//! commit barrier that fsyncs each shard's log at most once, and the
-//! per-shard legs run *concurrently* on the persistent shard workers
-//! (each worker commits as soon as its lane finishes), so the barrier
-//! costs the slowest shard's fsync — not the sum of all shards' — and a
-//! shard crashing mid-leg cannot stop its siblings' batches from
-//! committing. The durability traffic and its cost are first-class
-//! metrics — WAL appends, fsyncs, acknowledged records, and both barrier
-//! compositions ([`ruskey::stats::MissionReport::commit_ns`], the
-//! overlapped max, vs [`ruskey::stats::MissionReport::commit_busy_ns`],
-//! the sequential sum) flow through [`lsm::TreeStatsSnapshot`] into
-//! [`ruskey::stats::MissionReport`] (and the `repro durability` JSON),
-//! and WAL I/O is charged to the owning shard's time domain via the
-//! [`storage::CostModel`] WAL constants.
+//! The store's durability splits across **two logs with disjoint
+//! responsibilities**:
 //!
-//! The recovery contract: after a crash,
-//! [`ruskey::sharded::ShardedRusKey::recover`] (or
-//! [`lsm::FlsmTree::recover`] for one tree) replays each shard's log —
-//! the longest valid prefix, tolerating torn tails and corruption, with
-//! replay order pinned by the record sequence numbers — rebuilding
-//! exactly the acknowledged write-buffer state. Runs already flushed to
-//! [`storage::Storage`] are the backend's durability concern (the
-//! simulated disk is deliberately volatile). `tests/crash_recovery.rs`
-//! pins the contract with a [`lsm::CrashPoint`] fault-injection harness
-//! (pre-append, post-append, post-sync, and torn mid-flush crashes at
-//! `N ∈ {1, 2, 4}`), a recovered-store-equals-durable-prefix proptest,
-//! and a WAL replay fuzz test.
+//! * the **WAL** ([`lsm::Wal`]) protects the *write buffer*: each shard
+//!   appends every put/delete *before* the memtable insert and truncates
+//!   the log whenever a flush supersedes it. Per-record fsyncs would
+//!   dominate write cost, so the sharded store runs a **cross-shard group
+//!   commit**: every mission ends with a commit barrier that fsyncs each
+//!   shard's log at most once, with the per-shard legs running
+//!   *concurrently* on the persistent shard workers — the barrier costs
+//!   the slowest shard's fsync, not the sum, and a shard crashing mid-leg
+//!   cannot stop its siblings' batches from committing;
+//! * the **manifest** ([`lsm::Manifest`]) protects the *tree structure*:
+//!   every structural edit — a run created at some level with its page
+//!   extent and fence/Bloom metadata, a run deleted by compaction, a
+//!   policy transition, the flush sequence watermark — is committed as
+//!   one atomic, CRC-framed batch per mutation, with the log itself
+//!   compacted by atomic checkpoints. Ordering makes the two logs
+//!   compose: a flush writes its data pages, then commits the manifest
+//!   batch, then truncates the WAL (obsolete pages are freed only after
+//!   the commit), so at every crash point either the manifest or the WAL
+//!   still covers each acknowledged write, and the manifest never
+//!   references pages that were not written.
+//!
+//! On a **persistent backend**
+//! ([`ruskey::sharded::ShardedRusKey::try_with_tuner_persistent`] gives
+//! every shard its own [`storage::FileDisk`] directory — independent
+//! file handles, no cross-shard serialization — plus a manifest and a
+//! WAL), the store is fully restartable:
+//! [`ruskey::sharded::ShardedRusKey::recover_persistent`] (or
+//! [`lsm::FlsmTree::recover_persistent`] for one tree) folds each
+//! manifest's longest consistent prefix, rebuilds every recorded run
+//! from its data pages (fence pointers and Bloom filters re-derived
+//! identically), and replays the WAL tail on top — get/scan-identical to
+//! the store that was dropped. On the volatile simulated disk the WAL
+//! alone still protects the write buffer
+//! ([`ruskey::sharded::ShardedRusKey::recover`], longest valid prefix,
+//! replay order pinned by record sequence numbers).
+//!
+//! Durability traffic and recovery work are first-class metrics: WAL
+//! appends/fsyncs/acknowledged records, both barrier compositions
+//! ([`ruskey::stats::MissionReport::commit_ns`], the overlapped max, vs
+//! [`ruskey::stats::MissionReport::commit_busy_ns`], the sequential
+//! sum), and the recovery counters
+//! ([`ruskey::stats::MissionReport::manifest_edits`],
+//! [`ruskey::stats::MissionReport::runs_recovered`],
+//! [`ruskey::stats::MissionReport::replayed_tail`]) flow through
+//! [`lsm::TreeStatsSnapshot`] into [`ruskey::stats::MissionReport`] and
+//! the `repro durability` / `repro persistence` JSON.
+//!
+//! The contract is pinned three ways: `tests/crash_recovery.rs` runs a
+//! [`lsm::CrashPoint`] fault-injection matrix over the WAL write path
+//! (`N ∈ {1, 2, 4}`) plus a [`lsm::ManifestCrashPoint`] matrix over the
+//! manifest (crash before/inside/after a commit, and mid-checkpoint);
+//! `tests/persistence_restart.rs` asserts restart equivalence at
+//! `N ∈ {1, 2, 4}` with a random-schedule proptest and a manifest replay
+//! fuzz test; and `repro persistence --json` reports a `persistence_ok`
+//! verdict CI greps.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

@@ -22,9 +22,16 @@
 //!    garbage over a valid log — replay never panics and yields exactly
 //!    the longest valid prefix.
 //!
-//! The WAL protects the write buffer, so every scenario keeps its working
-//! set below `buffer_bytes` (no memtable flush): flushed runs are the
-//! storage backend's durability concern, not the log's.
+//! The WAL suites (1–3) keep their working set below `buffer_bytes` (no
+//! memtable flush), so the log alone carries their durability. Suite 4
+//! exercises the layer *below*: **manifest crash points** on a fully
+//! persistent store — the crash between a flush's data-page writes and
+//! its manifest edit, the torn manifest tail, the crash after the edit
+//! but before the WAL truncates, and the crash in the middle of a
+//! manifest checkpoint — asserting recovery always folds the longest
+//! consistent prefix, never references missing pages, and loses nothing
+//! (whatever the manifest batch misses, the untruncated WAL still
+//! covers).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,9 +40,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use ruskey_repro::lsm::{CrashPoint, KvEntry, Wal};
+use ruskey_repro::lsm::{CrashPoint, KvEntry, ManifestCrashPoint, Wal};
 use ruskey_repro::ruskey::db::RusKeyConfig;
-use ruskey_repro::ruskey::sharded::{DurabilityConfig, ShardedRusKey};
+use ruskey_repro::ruskey::sharded::{DurabilityConfig, PersistenceConfig, ShardedRusKey};
 use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
 use ruskey_repro::workload::routing::shard_for_key;
 use ruskey_repro::workload::{
@@ -671,4 +678,243 @@ proptest! {
         }
         let _ = std::fs::remove_file(&path);
     }
+}
+
+// ----------------------------------------------------------------------
+// 4. Manifest crash points (full-store persistence)
+// ----------------------------------------------------------------------
+
+fn persist_root(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ruskey-crashrec-manifest-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn persist_cfg(root: &PathBuf, checkpoint_every: u64) -> PersistenceConfig {
+    let mut p = PersistenceConfig::new(root);
+    p.page_size = 512;
+    p.cost = CostModel::FREE;
+    p.checkpoint_every = checkpoint_every;
+    p
+}
+
+fn persistent_store(shards: usize, p: &PersistenceConfig) -> ShardedRusKey {
+    ShardedRusKey::try_with_tuner_persistent(
+        big_buffer_cfg(),
+        shards,
+        Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+        p,
+    )
+    .expect("open persistent store")
+}
+
+fn recovered_persistent(shards: usize, p: &PersistenceConfig) -> ShardedRusKey {
+    ShardedRusKey::recover_persistent(
+        big_buffer_cfg(),
+        shards,
+        Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+        p,
+    )
+    .expect("recover persistent store")
+}
+
+/// Entries held by every run a shard's manifest currently records.
+fn manifest_entries(db: &ShardedRusKey, shard: usize) -> u64 {
+    db.shard(shard)
+        .manifest()
+        .expect("persistent shard has a manifest")
+        .state()
+        .levels
+        .iter()
+        .flat_map(|l| l.sealed.iter().chain(l.active.iter()))
+        .map(|r| r.entry_count)
+        .sum()
+}
+
+/// Acceptance (ISSUE 5): at every manifest crash point and `N ∈ {1, 2}`,
+/// recovery folds the longest consistent prefix of the manifest, never
+/// references missing pages, and loses no acknowledged write — a flush
+/// whose manifest edit died leaves its records covered by the (never
+/// truncated) WAL instead.
+///
+/// The scenario isolates the manifest: phase 1 is flushed everywhere
+/// (runs recorded durably), phase 2 is group-committed (WAL-acknowledged)
+/// and then shard 0 *flushes* with a crash armed at the chosen point —
+/// so the flush's data pages are written, and the crash decides whether
+/// the structural edit survives.
+#[test]
+fn manifest_crash_points_recover_the_longest_consistent_prefix() {
+    const PHASE1: u64 = 40;
+    const PHASE2: u64 = 40;
+    for shards in [1usize, 2] {
+        for point in [
+            ManifestCrashPoint::PreCommit,
+            ManifestCrashPoint::MidCommit,
+            ManifestCrashPoint::PostCommit,
+        ] {
+            let root = persist_root("matrix");
+            let p = persist_cfg(&root, 0);
+            let mut db = persistent_store(shards, &p);
+
+            // Phase 1: flushed on every shard — runs + manifest durable.
+            for i in 0..PHASE1 {
+                db.put(key(i), val(i));
+            }
+            db.group_commit();
+            for s in 0..shards {
+                db.shard_mut(s).flush();
+            }
+            let phase1_shard0 = manifest_entries(&db, 0);
+            assert!(phase1_shard0 > 0, "phase 1 must land runs on shard 0");
+
+            // Phase 2: acknowledged by the barrier, then shard 0 flushes
+            // into the armed crash point.
+            for i in PHASE1..PHASE1 + PHASE2 {
+                db.put(key(i), val(i));
+            }
+            db.group_commit();
+            let phase2_shard0 = (PHASE1..PHASE1 + PHASE2)
+                .filter(|&i| shard_for_key(&key(i), shards) == 0)
+                .count() as u64;
+            db.shard_mut(0)
+                .manifest_mut()
+                .expect("persistent shard has a manifest")
+                .arm_crash(point, 0);
+            db.shard_mut(0).flush();
+            assert!(
+                db.crashed(),
+                "shards={shards} point={point:?}: the armed crash never fired"
+            );
+            drop(db); // process death: in-memory structures die
+
+            let rec = recovered_persistent(shards, &p);
+            // The fold: append-time crashes roll shard 0's structure back
+            // to phase 1 (the flush's batch was lost or torn away as a
+            // unit); PostCommit keeps the merged phase-1+2 run. Recovery
+            // succeeding at all proves no missing pages were referenced —
+            // every recorded run was rebuilt by reading its pages back.
+            let expect_entries = match point {
+                ManifestCrashPoint::PreCommit | ManifestCrashPoint::MidCommit => phase1_shard0,
+                _ => phase1_shard0 + phase2_shard0,
+            };
+            assert_eq!(
+                manifest_entries(&rec, 0),
+                expect_entries,
+                "shards={shards} point={point:?}: wrong manifest prefix"
+            );
+            // No acknowledged write is lost at *any* point: the crashed
+            // flush skipped the WAL truncation, so whatever the manifest
+            // batch misses is still in the log (and a batch that did
+            // commit tolerates the redundant WAL replay — same seq, same
+            // values).
+            let mut rec = rec;
+            for i in 0..PHASE1 + PHASE2 {
+                assert_eq!(
+                    rec.get(&key(i)).as_deref(),
+                    Some(val(i).as_slice()),
+                    "shards={shards} point={point:?}: acknowledged key {i} lost"
+                );
+            }
+            // And the recovered store still accepts writes + restarts.
+            rec.put(key(9999), val(9999));
+            rec.group_commit();
+            drop(rec);
+            let mut rec2 = recovered_persistent(shards, &p);
+            assert_eq!(rec2.get(&key(9999)).as_deref(), Some(val(9999).as_slice()));
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+/// A crash in the middle of a manifest *checkpoint* (the log-compaction
+/// rewrite) leaves the previous log authoritative: the torn temporary
+/// file is ignored and cleaned up, and nothing is lost — the batch that
+/// triggered the auto-checkpoint was already durable in the old log.
+#[test]
+fn manifest_checkpoint_crash_keeps_the_old_log_authoritative() {
+    let root = persist_root("ckpt");
+    // checkpoint_every = 1: every commit triggers a checkpoint rewrite.
+    let p = persist_cfg(&root, 1);
+    let mut db = persistent_store(1, &p);
+
+    for i in 0..30u64 {
+        db.put(key(i), val(i));
+    }
+    db.group_commit();
+    db.shard_mut(0).flush(); // healthy commit + checkpoint
+    assert!(
+        db.shard(0).manifest().unwrap().checkpoints() >= 1,
+        "the cadence must have checkpointed"
+    );
+
+    for i in 30..60u64 {
+        db.put(key(i), val(i));
+    }
+    db.group_commit();
+    db.shard_mut(0)
+        .manifest_mut()
+        .unwrap()
+        .arm_crash(ManifestCrashPoint::MidCheckpoint, 0);
+    db.shard_mut(0).flush(); // batch commits, then the checkpoint tears
+    assert!(db.crashed(), "the mid-checkpoint crash never fired");
+    drop(db);
+
+    let mut rec = recovered_persistent(1, &p);
+    // The appended batch preceded the torn checkpoint, so the full
+    // structure (both flushes) survives in the old log.
+    assert_eq!(manifest_entries(&rec, 0), 60);
+    for i in 0..60u64 {
+        assert_eq!(
+            rec.get(&key(i)).as_deref(),
+            Some(val(i).as_slice()),
+            "key {i} lost across the checkpoint crash"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An externally torn manifest tail (bytes chopped off the file, not a
+/// crash-point simulation) still recovers: the half-written batch
+/// vanishes as a unit and the store rolls back to the previous flush,
+/// with the WAL tail covering everything after it.
+#[test]
+fn externally_torn_manifest_tail_recovers_the_previous_flush() {
+    let root = persist_root("torn");
+    let p = persist_cfg(&root, 0);
+    {
+        let mut db = persistent_store(1, &p);
+        for i in 0..25u64 {
+            db.put(key(i), val(i));
+        }
+        db.group_commit();
+        db.shard_mut(0).flush();
+        // Unflushed tail, synced by the barrier: lives in the WAL only.
+        for i in 25..35u64 {
+            db.put(key(i), val(i));
+        }
+        db.group_commit();
+    }
+    // Chop bytes off the manifest: the flush's batch is torn away.
+    let mpath = p.manifest_path(0);
+    let data = std::fs::read(&mpath).unwrap();
+    std::fs::write(&mpath, &data[..data.len() - 7]).unwrap();
+
+    let mut rec = recovered_persistent(1, &p);
+    assert_eq!(
+        manifest_entries(&rec, 0),
+        0,
+        "the torn flush batch must vanish as a unit"
+    );
+    // The flush truncated the WAL, so the flushed prefix is the torn
+    // batch's loss — but the post-flush tail survives in the log.
+    for i in 25..35u64 {
+        assert_eq!(
+            rec.get(&key(i)).as_deref(),
+            Some(val(i).as_slice()),
+            "WAL-tail key {i} lost"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
