@@ -5,7 +5,8 @@
 //!
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
-//!   bruteforce  shard_scaling  durability  persistence  all  ablations  lab
+//!   bruteforce  shard_scaling  durability  persistence  read_path  all
+//!   ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -290,7 +291,7 @@ fn run_ablations(scale: &ExperimentScale) {
 
 fn print_scaling_rows(rows: &[ShardScalingRow]) {
     println!(
-        "{:<12}{:<8}{:>12}{:>14}{:>20}{:>20}{:>16}{:>10}",
+        "{:<12}{:<8}{:>12}{:>14}{:>20}{:>20}{:>16}{:>14}{:>11}{:>10}",
         "backend",
         "shards",
         "wall (s)",
@@ -298,11 +299,13 @@ fn print_scaling_rows(rows: &[ShardScalingRow]) {
         "v-wall ns/op (max)",
         "v-busy ns/op (sum)",
         "real µs/mission",
+        "get ns/op",
+        "hit ratio",
         "threads"
     );
     for r in rows {
         println!(
-            "{:<12}{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>16.1}{:>10}",
+            "{:<12}{:<8}{:>12.3}{:>14.1}{:>20.1}{:>20.1}{:>16.1}{:>14.1}{:>11.4}{:>10}",
             r.backend,
             r.shards,
             r.wall_s,
@@ -310,6 +313,8 @@ fn print_scaling_rows(rows: &[ShardScalingRow]) {
             r.virtual_wall_ns_per_op,
             r.virtual_busy_ns_per_op,
             r.real_us_per_mission,
+            r.real_get_ns_per_op,
+            r.cache_hit_ratio,
             r.parallelism
         );
     }
@@ -412,6 +417,50 @@ fn run_durability(scale: &ExperimentScale, scale_label: &str, json_path: &Option
     println!();
 }
 
+fn run_read_path(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Read path: real ns/op through cache + FileDisk + bound fast paths ==");
+    let rows = read_path(scale);
+    println!(
+        "{:<10}{:>10}{:>14}{:>14}{:>16}{:>12}{:>12}{:>11}{:>8}{:>8}{:>8}",
+        "variant",
+        "entries",
+        "hot ns/op",
+        "cold ns/op",
+        "missing ns/op",
+        "hits",
+        "misses",
+        "hit ratio",
+        "fds",
+        "grows",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "{:<10}{:>10}{:>14.1}{:>14.1}{:>16.1}{:>12}{:>12}{:>11.4}{:>8}{:>8}{:>8}",
+            r.variant,
+            r.entries,
+            r.hot_ns_per_op,
+            r.cold_ns_per_op,
+            r.missing_ns_per_op,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_ratio,
+            r.fds_opened,
+            r.buffer_grows,
+            r.ok
+        );
+    }
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "read_path.json".to_string());
+    let json = read_path_json(scale_label, &rows);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_bruteforce(scale: &ExperimentScale) {
     println!("== Brute-force learning comparison (write-heavy workload) ==");
     for r in bruteforce(scale) {
@@ -500,7 +549,7 @@ fn main() {
     if want("bruteforce") {
         run_bruteforce(scale);
     }
-    if want("shard_scaling") || want("durability") || want("persistence") {
+    if want("shard_scaling") || want("durability") || want("persistence") || want("read_path") {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
             n if n <= 2_000 => "tiny",
@@ -527,6 +576,14 @@ fn main() {
                 &None
             };
             run_persistence(scale, label, json);
+        }
+        if want("read_path") {
+            let json = if args.experiment == "read_path" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_read_path(scale, label, json);
         }
     }
     if args.experiment == "ablations" {

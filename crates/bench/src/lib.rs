@@ -13,6 +13,7 @@ pub mod durability;
 pub mod experiments;
 pub mod output;
 pub mod persistence;
+pub mod read_path;
 pub mod scaling;
 
 pub use ablations::*;
@@ -20,4 +21,5 @@ pub use durability::*;
 pub use experiments::*;
 pub use output::*;
 pub use persistence::*;
+pub use read_path::*;
 pub use scaling::*;

@@ -3,6 +3,7 @@
 use crate::durability::DurabilityRow;
 use crate::experiments::{Comparison, RankingTable, Series};
 use crate::persistence::PersistenceRow;
+use crate::read_path::ReadPathRow;
 use crate::scaling::ShardScalingRow;
 
 /// Renders a mission-series comparison as CSV: `mission,method,...`.
@@ -90,6 +91,7 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
              \"wall_s\": {:.6}, \
              \"kops_per_s\": {:.3}, \"virtual_wall_ns_per_op\": {:.1}, \
              \"virtual_busy_ns_per_op\": {:.1}, \"real_us_per_mission\": {:.1}, \
+             \"real_get_ns_per_op\": {:.1}, \"cache_hit_ratio\": {:.4}, \
              \"parallelism\": {}}}{}\n",
             r.backend,
             r.shards,
@@ -100,7 +102,71 @@ pub fn shard_scaling_json(scale_label: &str, rows: &[ShardScalingRow]) -> String
             r.virtual_wall_ns_per_op,
             r.virtual_busy_ns_per_op,
             r.real_us_per_mission,
+            r.real_get_ns_per_op,
+            r.cache_hit_ratio,
             r.parallelism,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the read-path experiment as machine-readable JSON. Each row
+/// carries the three timed populations (hot / cold / missing, real ns
+/// per lookup), the cache counters, and the zero-alloc accounting; the
+/// per-row verdicts conjoin into the top-level `read_path_ok` flag CI
+/// greps as a smoke check (cache hits observed, hot no slower than
+/// cold, missing-key rejection no slower than hot, zero fds opened and
+/// zero buffer regrows during the timed phases, zero probes and page
+/// reads for out-of-bounds keys). `speedup_hot_vs_uncached` is the
+/// cached variant's hot-phase advantage over the bare `FileDisk` path.
+pub fn read_path_json(scale_label: &str, rows: &[ReadPathRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"read_path\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!(
+        "  \"read_path_ok\": {},\n",
+        rows.iter().all(|r| r.ok)
+    ));
+    let cached_hot = rows
+        .iter()
+        .find(|r| r.variant == "cached")
+        .map(|r| r.hot_ns_per_op);
+    let uncached_hot = rows
+        .iter()
+        .find(|r| r.variant == "uncached")
+        .map(|r| r.hot_ns_per_op);
+    if let (Some(c), Some(u)) = (cached_hot, uncached_hot) {
+        out.push_str(&format!(
+            "  \"speedup_hot_vs_uncached\": {:.2},\n",
+            if c > 0.0 { u / c } else { 0.0 }
+        ));
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"entries\": {}, \"ops_per_phase\": {}, \
+             \"hot_ns_per_op\": {:.1}, \"cold_ns_per_op\": {:.1}, \
+             \"missing_ns_per_op\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_ratio\": {:.4}, \"fds_opened\": {}, \"buffer_grows\": {}, \
+             \"hot_device_reads\": {}, \"missing_device_reads\": {}, \
+             \"missing_probes\": {}, \"ok\": {}}}{}\n",
+            r.variant,
+            r.entries,
+            r.ops_per_phase,
+            r.hot_ns_per_op,
+            r.cold_ns_per_op,
+            r.missing_ns_per_op,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_ratio,
+            r.fds_opened,
+            r.buffer_grows,
+            r.hot_device_reads,
+            r.missing_device_reads,
+            r.missing_probes,
+            r.ok,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -286,6 +352,8 @@ mod tests {
                 virtual_wall_ns_per_op: 12345.6,
                 virtual_busy_ns_per_op: 12345.6,
                 real_us_per_mission: 800.0,
+                real_get_ns_per_op: 900.0,
+                cache_hit_ratio: 0.0,
                 parallelism: 1,
             },
             ShardScalingRow {
@@ -298,6 +366,8 @@ mod tests {
                 virtual_wall_ns_per_op: 4000.2,
                 virtual_busy_ns_per_op: 13000.8,
                 real_us_per_mission: 350.0,
+                real_get_ns_per_op: 450.0,
+                cache_hit_ratio: 0.8731,
                 parallelism: 4,
             },
         ];
@@ -310,6 +380,9 @@ mod tests {
         assert_eq!(json.matches("\"virtual_wall_ns_per_op\":").count(), 2);
         assert_eq!(json.matches("\"virtual_busy_ns_per_op\":").count(), 2);
         assert_eq!(json.matches("\"real_us_per_mission\":").count(), 2);
+        // As are the read-path columns this PR trajectory tracks.
+        assert_eq!(json.matches("\"real_get_ns_per_op\":").count(), 2);
+        assert_eq!(json.matches("\"cache_hit_ratio\":").count(), 2);
         // Exactly one comma between the two row objects, none trailing.
         assert_eq!(json.matches("}},").count(), 0);
         assert_eq!(json.matches("},\n").count(), 1);
@@ -370,6 +443,47 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn read_path_json_carries_verdict_and_speedup() {
+        let row = |variant: &'static str, hot: f64, ok: bool| ReadPathRow {
+            variant,
+            entries: 2000,
+            ops_per_phase: 2000,
+            hot_ns_per_op: hot,
+            cold_ns_per_op: 2000.0,
+            missing_ns_per_op: 100.0,
+            cache_hits: if variant == "cached" { 1500 } else { 0 },
+            cache_misses: if variant == "cached" { 500 } else { 0 },
+            cache_hit_ratio: if variant == "cached" { 0.75 } else { 0.0 },
+            fds_opened: 0,
+            buffer_grows: 0,
+            hot_device_reads: 0,
+            missing_device_reads: 0,
+            missing_probes: 0,
+            ok,
+        };
+        let json = read_path_json(
+            "tiny",
+            &[row("cached", 400.0, true), row("uncached", 1600.0, true)],
+        );
+        assert!(json.contains("\"experiment\": \"read_path\""));
+        assert!(json.contains("\"read_path_ok\": true"));
+        assert!(json.contains("\"speedup_hot_vs_uncached\": 4.00"));
+        assert_eq!(json.matches("\"hot_ns_per_op\":").count(), 2);
+        assert_eq!(json.matches("\"missing_probes\":").count(), 2);
+        assert_eq!(json.matches("\"fds_opened\":").count(), 2);
+        // One failing row flips the top-level verdict.
+        let bad = read_path_json(
+            "tiny",
+            &[row("cached", 400.0, true), row("uncached", 1600.0, false)],
+        );
+        assert!(bad.contains("\"read_path_ok\": false"));
+        // Balanced braces/brackets, no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
     }
 
     #[test]

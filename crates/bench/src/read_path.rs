@@ -1,0 +1,273 @@
+//! Read-path raw-speed experiment (beyond the paper): real wall-clock
+//! cost of file-backed point lookups through the serving stack.
+//!
+//! `repro read_path` loads one [`FlsmTree`] per variant over a real
+//! [`FileDisk`] — once served through the sharded [`BlockCache`], once
+//! bare — and times three lookup populations:
+//!
+//! * **hot**: a small working set probed repeatedly (cache-resident
+//!   after one warming pass),
+//! * **cold**: a permuted sweep over every loaded key (mostly cache
+//!   misses — the cache is sized well below the data),
+//! * **missing**: keys beyond the tree's maximum bound, which the O(1)
+//!   aggregate-bounds fast path must reject with **zero** run probes
+//!   and **zero** page reads.
+//!
+//! Each row's verdict also pins the zero-alloc steady state of the
+//! rewritten `FileDisk`: during the timed phases no new fd may be
+//! opened ([`FileDisk::fds_opened`]) and the thread-local page buffer
+//! may not regrow ([`FileDisk::buffer_grows`]). The per-row verdicts
+//! conjoin into the top-level `read_path_ok` flag CI greps from the
+//! JSON output.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use ruskey::db::RusKeyConfig;
+use ruskey::runner::ExperimentScale;
+use ruskey_lsm::FlsmTree;
+use ruskey_storage::{BlockCache, FileDisk, Storage};
+use ruskey_workload::{bulk_load_pairs, encode_key};
+
+/// Hot working-set size (consecutive keys, so the set spans only a few
+/// pages and stays cache-resident through the hot phase).
+const HOT_KEYS: u64 = 64;
+
+/// One serving-stack variant's measurement.
+#[derive(Debug, Clone)]
+pub struct ReadPathRow {
+    /// `"cached"` (FileDisk behind the sharded block cache) or
+    /// `"uncached"` (bare FileDisk — every lookup reaches the file).
+    pub variant: &'static str,
+    /// Keys loaded before measuring.
+    pub entries: u64,
+    /// Timed lookups per phase (hot, cold, and missing each run this
+    /// many).
+    pub ops_per_phase: u64,
+    /// Real ns per hot-key lookup.
+    pub hot_ns_per_op: f64,
+    /// Real ns per cold-key lookup (permuted full sweep).
+    pub cold_ns_per_op: f64,
+    /// Real ns per missing-key lookup (beyond every bound).
+    pub missing_ns_per_op: f64,
+    /// Block-cache hits over the timed phases (0 for `"uncached"`).
+    pub cache_hits: u64,
+    /// Block-cache misses over the timed phases (0 for `"uncached"`).
+    pub cache_misses: u64,
+    /// Hit ratio over the timed phases (0.0 for `"uncached"`).
+    pub cache_hit_ratio: f64,
+    /// File descriptors opened *during* the timed phases — the fd-cache
+    /// claim: steady-state reads must not open files, so this must be 0.
+    pub fds_opened: u64,
+    /// Thread-local page-buffer regrows during the timed phases — the
+    /// zero-alloc claim: steady-state reads must not allocate, so this
+    /// must be 0.
+    pub buffer_grows: u64,
+    /// Device pages read during the hot phase (must be 0 for
+    /// `"cached"`: a warmed hot set serves entirely from memory).
+    pub hot_device_reads: u64,
+    /// Device pages read during the missing phase (must be 0: the
+    /// bounds fast path rejects before any I/O).
+    pub missing_device_reads: u64,
+    /// Run probes during the missing phase (must be 0: rejection
+    /// happens above the per-run check).
+    pub missing_probes: u64,
+    /// All of the row's invariants held.
+    pub ok: bool,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A stride co-prime with `n`, so `i -> (i * stride) % n` permutes
+/// `0..n` — the cold sweep visits every key while destroying the
+/// sequential page locality a linear sweep would enjoy.
+fn coprime_stride(n: u64) -> u64 {
+    let mut s = (n / 2) | 1;
+    while gcd(s, n) != 1 {
+        s += 2;
+    }
+    s
+}
+
+fn sum_probes(tree: &FlsmTree) -> u64 {
+    tree.stats().levels.iter().map(|l| l.probes).sum()
+}
+
+fn run_variant(scale: &ExperimentScale, cached: bool) -> ReadPathRow {
+    let variant = if cached { "cached" } else { "uncached" };
+    let root =
+        std::env::temp_dir().join(format!("ruskey-read-path-{}-{variant}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create read_path dir");
+
+    let disk = FileDisk::new(&root, scale.page_size, scale.cost).expect("open FileDisk");
+    // Sized well below the data so the cold sweep actually misses, but
+    // comfortably above the hot working set's page footprint.
+    let est_pages = (scale.load_entries * (scale.key_len + scale.value_len + 16) as u64)
+        / scale.page_size as u64;
+    let cache_pages = (est_pages / 8).max(32) as usize;
+    let cache = cached.then(|| BlockCache::new(Arc::clone(&disk), cache_pages));
+    let mut tree = match &cache {
+        Some(c) => FlsmTree::try_new(RusKeyConfig::scaled_default().lsm, Arc::clone(c) as _),
+        None => FlsmTree::try_new(RusKeyConfig::scaled_default().lsm, Arc::clone(&disk) as _),
+    }
+    .expect("valid scaled config");
+    tree.bulk_load(bulk_load_pairs(
+        scale.load_entries,
+        scale.key_len,
+        scale.value_len,
+        scale.seed,
+    ));
+
+    let entries = scale.load_entries;
+    let ops_per_phase = entries.max(2_000);
+    let hot_base = entries / 3;
+    let hot: Vec<Bytes> = (hot_base..hot_base + HOT_KEYS.min(entries))
+        .map(|i| encode_key(i, scale.key_len))
+        .collect();
+
+    // Warm the hot set (outside the timed window), then freeze the
+    // fd/alloc baselines: from here on the steady state must hold.
+    for k in &hot {
+        tree.get(k);
+    }
+    let cache_base = cache.as_ref().map_or((0, 0), |c| (c.hits(), c.misses()));
+    let fds_base = disk.fds_opened();
+    let grows_base = disk.buffer_grows();
+
+    let reads_before_hot = disk.metrics().pages_read;
+    let t0 = Instant::now();
+    for i in 0..ops_per_phase {
+        tree.get(&hot[(i % hot.len() as u64) as usize]);
+    }
+    let hot_ns_per_op = t0.elapsed().as_nanos() as f64 / ops_per_phase as f64;
+    let hot_device_reads = disk.metrics().pages_read - reads_before_hot;
+
+    let stride = coprime_stride(entries);
+    let cold: Vec<Bytes> = (0..ops_per_phase)
+        .map(|i| encode_key((i * stride) % entries, scale.key_len))
+        .collect();
+    let t0 = Instant::now();
+    for k in &cold {
+        tree.get(k);
+    }
+    let cold_ns_per_op = t0.elapsed().as_nanos() as f64 / ops_per_phase as f64;
+
+    // Missing keys sit beyond every loaded key, so the aggregate-bounds
+    // fast path must reject them without touching a run or the device.
+    let missing: Vec<Bytes> = (0..HOT_KEYS)
+        .map(|i| encode_key(entries + 1 + i, scale.key_len))
+        .collect();
+    let reads_before_missing = disk.metrics().pages_read;
+    let probes_before_missing = sum_probes(&tree);
+    let t0 = Instant::now();
+    for i in 0..ops_per_phase {
+        tree.get(&missing[(i % HOT_KEYS) as usize]);
+    }
+    let missing_ns_per_op = t0.elapsed().as_nanos() as f64 / ops_per_phase as f64;
+    let missing_device_reads = disk.metrics().pages_read - reads_before_missing;
+    let missing_probes = sum_probes(&tree) - probes_before_missing;
+
+    let fds_opened = disk.fds_opened() - fds_base;
+    let buffer_grows = disk.buffer_grows() - grows_base;
+    let (cache_hits, cache_misses) = cache.as_ref().map_or((0, 0), |c| {
+        (c.hits() - cache_base.0, c.misses() - cache_base.1)
+    });
+    let traffic = cache_hits + cache_misses;
+    let cache_hit_ratio = if traffic == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / traffic as f64
+    };
+
+    let ok = fds_opened == 0
+        && buffer_grows == 0
+        && missing_device_reads == 0
+        && missing_probes == 0
+        && missing_ns_per_op <= hot_ns_per_op
+        && (!cached
+            || (cache_hits > 0 && hot_device_reads == 0 && hot_ns_per_op <= cold_ns_per_op));
+
+    drop(tree);
+    let _ = std::fs::remove_dir_all(&root);
+    ReadPathRow {
+        variant,
+        entries,
+        ops_per_phase,
+        hot_ns_per_op,
+        cold_ns_per_op,
+        missing_ns_per_op,
+        cache_hits,
+        cache_misses,
+        cache_hit_ratio,
+        fds_opened,
+        buffer_grows,
+        hot_device_reads,
+        missing_device_reads,
+        missing_probes,
+        ok,
+    }
+}
+
+/// Runs both serving-stack variants and returns their rows — `"cached"`
+/// first, `"uncached"` second, so the hot-phase speedup of the cache is
+/// `rows[1].hot_ns_per_op / rows[0].hot_ns_per_op`.
+pub fn read_path(scale: &ExperimentScale) -> Vec<ReadPathRow> {
+    vec![run_variant(scale, true), run_variant(scale, false)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            load_entries: 2_000,
+            ..ExperimentScale::tiny()
+        }
+    }
+
+    #[test]
+    fn cached_row_serves_hot_keys_from_memory() {
+        let r = run_variant(&tiny(), true);
+        assert!(r.ok, "cached read-path invariants failed: {r:?}");
+        assert!(r.cache_hits > 0, "hot phase must hit the cache");
+        assert_eq!(r.hot_device_reads, 0, "warmed hot keys must not read");
+        assert_eq!(r.fds_opened, 0, "steady-state reads must not open fds");
+        assert_eq!(r.buffer_grows, 0, "steady-state reads must not allocate");
+        assert_eq!(r.missing_device_reads, 0);
+        assert_eq!(r.missing_probes, 0);
+    }
+
+    #[test]
+    fn uncached_row_is_alloc_free_and_rejects_missing_keys() {
+        let r = run_variant(&tiny(), false);
+        assert!(r.ok, "uncached read-path invariants failed: {r:?}");
+        assert_eq!(r.cache_hits, 0);
+        assert_eq!(r.cache_misses, 0);
+        assert_eq!(r.cache_hit_ratio, 0.0);
+        assert_eq!(r.fds_opened, 0);
+        assert_eq!(r.buffer_grows, 0);
+        assert_eq!(r.missing_device_reads, 0);
+        assert_eq!(r.missing_probes, 0);
+    }
+
+    #[test]
+    fn coprime_stride_permutes() {
+        for n in [7u64, 64, 100, 2_000, 12_345] {
+            let s = coprime_stride(n);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                seen[((i * s) % n) as usize] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "stride {s} does not permute {n}");
+        }
+    }
+}

@@ -8,11 +8,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
 use ruskey::db::RusKeyConfig;
 use ruskey::runner::ExperimentScale;
 use ruskey::sharded::{PersistenceConfig, ShardedRusKey};
 use ruskey::tuner::NoOpTuner;
-use ruskey_workload::{bulk_load_pairs, OpGenerator, OpMix, Operation};
+use ruskey_workload::{bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation};
 
 /// One shard count's measurement.
 #[derive(Debug, Clone)]
@@ -44,8 +45,30 @@ pub struct ShardScalingRow {
     /// column: with the persistent worker pool this carries no per-mission
     /// thread spawn/teardown, only dispatch and execution.
     pub real_us_per_mission: f64,
+    /// Real wall-clock ns per point lookup over a post-mission sample
+    /// sweep — the read-path raw-speed column this PR trajectory tracks:
+    /// on the file backend it reflects the fd cache, positional reads,
+    /// and block cache directly.
+    pub real_get_ns_per_op: f64,
+    /// Block-cache hit ratio over the missions (0.0 on the simulated
+    /// backend, which serves without a cache).
+    pub cache_hit_ratio: f64,
     /// Maximum distinct OS worker threads observed in one mission.
     pub parallelism: usize,
+}
+
+/// Times a stride sample of point lookups against the live store,
+/// returning real ns per get.
+fn timed_get_sweep(db: &mut ShardedRusKey, scale: &ExperimentScale) -> f64 {
+    let sample: Vec<Bytes> = (0..scale.load_entries)
+        .step_by((scale.load_entries / 512).max(1) as usize)
+        .map(|i| encode_key(i, scale.key_len))
+        .collect();
+    let t0 = Instant::now();
+    for k in &sample {
+        db.get(k);
+    }
+    t0.elapsed().as_nanos() as f64 / sample.len() as f64
 }
 
 /// Runs the balanced mixed workload at each shard count and measures
@@ -106,6 +129,7 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 parallelism = parallelism.max(db.last_parallelism());
             }
             let wall_s = t0.elapsed().as_secs_f64();
+            let real_get_ns_per_op = timed_get_sweep(&mut db, scale);
             ShardScalingRow {
                 backend: "simulated",
                 shards: n,
@@ -116,6 +140,10 @@ pub fn shard_scaling(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Sha
                 virtual_wall_ns_per_op: wall_ns as f64 / ops_total.max(1) as f64,
                 virtual_busy_ns_per_op: busy_ns as f64 / ops_total.max(1) as f64,
                 real_us_per_mission: real_ns as f64 / scale.missions.max(1) as f64 / 1e3,
+                real_get_ns_per_op,
+                // The simulated backend serves without a cache, keeping
+                // its virtual accounting bit-identical across PRs.
+                cache_hit_ratio: 0.0,
                 parallelism,
             }
         })
@@ -167,6 +195,8 @@ pub fn shard_scaling_filedisk(
             let mut wall_ns = 0u64;
             let mut busy_ns = 0u64;
             let mut real_ns = 0u64;
+            let mut cache_hits = 0u64;
+            let mut cache_misses = 0u64;
             let mut parallelism = 0usize;
             let t0 = Instant::now();
             for ops in &missions {
@@ -181,9 +211,12 @@ pub fn shard_scaling_filedisk(
                 wall_ns += report.end_to_end_ns;
                 busy_ns += report.device_busy_ns;
                 real_ns += report.real_process_ns;
+                cache_hits += report.cache_hits;
+                cache_misses += report.cache_misses;
                 parallelism = parallelism.max(db.last_parallelism());
             }
             let wall_s = t0.elapsed().as_secs_f64();
+            let real_get_ns_per_op = timed_get_sweep(&mut db, scale);
             drop(db);
             let _ = std::fs::remove_dir_all(&root);
             ShardScalingRow {
@@ -196,6 +229,15 @@ pub fn shard_scaling_filedisk(
                 virtual_wall_ns_per_op: wall_ns as f64 / ops_total.max(1) as f64,
                 virtual_busy_ns_per_op: busy_ns as f64 / ops_total.max(1) as f64,
                 real_us_per_mission: real_ns as f64 / scale.missions.max(1) as f64 / 1e3,
+                real_get_ns_per_op,
+                cache_hit_ratio: {
+                    let traffic = cache_hits + cache_misses;
+                    if traffic == 0 {
+                        0.0
+                    } else {
+                        cache_hits as f64 / traffic as f64
+                    }
+                },
                 parallelism,
             }
         })
@@ -235,6 +277,14 @@ mod tests {
             rows.iter().all(|r| r.real_us_per_mission > 0.0),
             "spawn-amortization column must be populated"
         );
+        assert!(
+            rows.iter().all(|r| r.real_get_ns_per_op > 0.0),
+            "read-path column must be populated"
+        );
+        assert!(
+            rows.iter().all(|r| r.cache_hit_ratio == 0.0),
+            "the simulated backend serves without a cache"
+        );
         // Wall never exceeds busy; they coincide at one shard.
         for r in &rows {
             assert!(r.virtual_wall_ns_per_op <= r.virtual_busy_ns_per_op + 1e-9);
@@ -266,6 +316,11 @@ mod tests {
         // Same workload at every shard count, real wall time populated.
         assert_eq!(rows[0].ops_total, rows[1].ops_total);
         assert!(rows.iter().all(|r| r.real_us_per_mission > 0.0));
+        assert!(rows.iter().all(|r| r.real_get_ns_per_op > 0.0));
+        assert!(
+            rows.iter().all(|r| r.cache_hit_ratio > 0.0),
+            "file-backed shards serve through the block cache by default"
+        );
         for r in &rows {
             assert!(r.virtual_wall_ns_per_op <= r.virtual_busy_ns_per_op + 1e-9);
         }

@@ -129,7 +129,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use ruskey_lsm::{ConfigError, FlsmTree, Manifest, TreeStatsSnapshot, Wal};
-use ruskey_storage::{CostModel, FileDisk, ShardStorage, Storage};
+use ruskey_storage::{BlockCache, CostModel, FileDisk, ShardStorage, Storage};
 use ruskey_workload::routing::{partition_ops_owned, shard_for_key};
 use ruskey_workload::Operation;
 
@@ -197,11 +197,17 @@ pub struct PersistenceConfig {
     /// Auto-compact each shard's manifest once this many structural
     /// edits accumulate since the last checkpoint (0 = never).
     pub checkpoint_every: u64,
+    /// Per-shard block-cache capacity in pages; each shard's
+    /// [`FileDisk`] serves reads through its own sharded LRU
+    /// [`BlockCache`] of this size. 0 disables caching entirely (reads
+    /// always reach the file).
+    pub cache_pages: usize,
 }
 
 impl PersistenceConfig {
     /// Defaults: 4 KiB pages, the NVMe cost model, group-commit-only WAL
-    /// syncs, and a manifest checkpoint every 1024 edits.
+    /// syncs, a manifest checkpoint every 1024 edits, and a 4096-page
+    /// (16 MiB) block cache per shard.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         Self {
             root: root.into(),
@@ -209,7 +215,19 @@ impl PersistenceConfig {
             cost: CostModel::NVME,
             sync_every: 0,
             checkpoint_every: 1024,
+            cache_pages: 4096,
         }
+    }
+
+    /// Builds one shard's storage stack: a [`FileDisk`] over `data`,
+    /// served through a [`BlockCache`] when `cache_pages > 0`.
+    fn open_disk(&self, data: &std::path::Path) -> std::io::Result<Arc<dyn Storage>> {
+        let disk = FileDisk::new(data, self.page_size, self.cost)?;
+        Ok(if self.cache_pages > 0 {
+            BlockCache::new(disk, self.cache_pages)
+        } else {
+            disk
+        })
     }
 
     /// One shard's directory.
@@ -687,8 +705,7 @@ impl ShardedRusKey {
         for i in 0..shards {
             let data = persistence.data_dir(i);
             std::fs::create_dir_all(&data)?;
-            let disk: Arc<dyn Storage> =
-                FileDisk::new(&data, persistence.page_size, persistence.cost)?;
+            let disk = persistence.open_disk(&data)?;
             let mut tree = FlsmTree::try_new(cfg.lsm.clone(), disk)?;
             tree.attach_manifest(Manifest::create(
                 persistence.manifest_path(i),
@@ -750,8 +767,7 @@ impl ShardedRusKey {
         for i in 0..shards {
             let data = persistence.data_dir(i);
             std::fs::create_dir_all(&data)?;
-            let disk: Arc<dyn Storage> =
-                FileDisk::new(&data, persistence.page_size, persistence.cost)?;
+            let disk = persistence.open_disk(&data)?;
             trees.push(Some(FlsmTree::recover_persistent(
                 cfg.lsm.clone(),
                 disk,

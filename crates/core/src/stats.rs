@@ -90,6 +90,14 @@ pub struct MissionReport {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery (lifetime, summed over shards).
     pub replayed_tail: u64,
+    /// Block-cache hits during the mission (summed over shards; 0 when
+    /// the serving path has no cache, e.g. the simulated backend).
+    pub cache_hits: u64,
+    /// Block-cache misses during the mission (reads that reached the
+    /// device; summed over shards).
+    pub cache_misses: u64,
+    /// Block-cache evictions during the mission (summed over shards).
+    pub cache_evictions: u64,
     /// Real wall-clock time spent processing the mission (ns) — used by the
     /// Fig. 13 model-cost comparison.
     pub real_process_ns: u64,
@@ -134,6 +142,16 @@ impl MissionReport {
             return 0.0;
         }
         self.wal_appends as f64 / self.wal_syncs as f64
+    }
+
+    /// Block-cache hit ratio of the mission's reads (0.0 when the
+    /// serving path saw no cache traffic at all).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 
     /// Mean level latency per operation for level `idx` (virtual ns).
@@ -241,6 +259,9 @@ impl StatsCollector {
             manifest_edits: end_snapshots.iter().map(|s| s.manifest_edits).sum(),
             runs_recovered: end_snapshots.iter().map(|s| s.runs_recovered).sum(),
             replayed_tail: end_snapshots.iter().map(|s| s.replayed_tail).sum(),
+            cache_hits: d.cache_hits,
+            cache_misses: d.cache_misses,
+            cache_evictions: d.cache_evictions,
             commit_ns: 0,
             commit_busy_ns: 0,
             levels,

@@ -10,6 +10,7 @@
 //! `active_capacity = C / K`.
 
 use crate::run::Run;
+use crate::types::Key;
 
 /// One level of the FLSM-tree.
 #[derive(Debug)]
@@ -26,6 +27,13 @@ pub struct Level {
     pub sealed: Vec<Run>,
     /// The run currently admitting merged batches from above, if any.
     pub active: Option<Run>,
+    /// Aggregate `[min, max]` key range over every resident run, cached
+    /// so a lookup can reject out-of-range keys in O(1) without touching
+    /// a single run. `None` while the level is empty. Maintained by
+    /// [`Level::refresh_bounds`], which the tree calls at every
+    /// structural mutation (admit, merge, bulk load, recovery); must
+    /// always equal [`Level::computed_bounds`].
+    pub bounds: Option<(Key, Key)>,
 }
 
 impl Level {
@@ -39,6 +47,7 @@ impl Level {
             pending_policy: None,
             sealed: Vec::new(),
             active: None,
+            bounds: None,
         }
     }
 
@@ -93,7 +102,46 @@ impl Level {
     pub fn take_all_runs(&mut self) -> Vec<Run> {
         let mut runs: Vec<Run> = self.active.take().into_iter().collect();
         runs.append(&mut self.sealed);
+        self.bounds = None;
         runs
+    }
+
+    /// Recomputes the cached aggregate bounds from the resident runs.
+    /// Called by the tree after every mutation that changes the level's
+    /// run membership.
+    pub fn refresh_bounds(&mut self) {
+        self.bounds = self.computed_bounds();
+    }
+
+    /// The aggregate `[min, max]` key range computed fresh from the
+    /// resident runs — the value the cached [`Level::bounds`] must equal
+    /// (the invariant the bounds tests pin).
+    pub fn computed_bounds(&self) -> Option<(Key, Key)> {
+        self.probe_order().fold(None, |acc, run| {
+            Some(match acc {
+                None => (run.min_key().clone(), run.max_key().clone()),
+                Some((lo, hi)) => (
+                    if *run.min_key() < lo {
+                        run.min_key().clone()
+                    } else {
+                        lo
+                    },
+                    if *run.max_key() > hi {
+                        run.max_key().clone()
+                    } else {
+                        hi
+                    },
+                ),
+            })
+        })
+    }
+
+    /// O(1) out-of-range rejection: whether `key` falls inside the
+    /// level's aggregate bounds (false for an empty level).
+    pub fn key_in_bounds(&self, key: &[u8]) -> bool {
+        self.bounds
+            .as_ref()
+            .is_some_and(|(lo, hi)| lo.as_ref() <= key && key <= hi.as_ref())
     }
 
     /// Applies the flexible transition for a new policy `k` (§4.2): change

@@ -166,6 +166,13 @@ pub struct TreeStatsSnapshot {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery.
     pub replayed_tail: u64,
+    /// Lifetime block-cache hits on the tree's storage (0 without a
+    /// cache in the serving path).
+    pub cache_hits: u64,
+    /// Lifetime block-cache misses (reads that reached the device).
+    pub cache_misses: u64,
+    /// Lifetime block-cache evictions.
+    pub cache_evictions: u64,
     /// Per-level snapshots, index 0 = the paper's Level 1.
     pub levels: Vec<LevelStatsSnapshot>,
 }
@@ -208,6 +215,9 @@ impl TreeStatsSnapshot {
             manifest_edits: self.manifest_edits.saturating_sub(earlier.manifest_edits),
             runs_recovered: self.runs_recovered.saturating_sub(earlier.runs_recovered),
             replayed_tail: self.replayed_tail.saturating_sub(earlier.replayed_tail),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
             levels,
         }
     }
@@ -244,6 +254,9 @@ impl TreeStatsSnapshot {
             manifest_edits: self.manifest_edits + other.manifest_edits,
             runs_recovered: self.runs_recovered + other.runs_recovered,
             replayed_tail: self.replayed_tail + other.replayed_tail,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
             levels,
         }
     }

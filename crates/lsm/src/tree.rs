@@ -61,6 +61,12 @@ pub struct FlsmTree {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery.
     replayed_tail: u64,
+    /// Tree-wide aggregate `[min, max]` key range over every resident
+    /// run (all levels), cached so a lookup outside it returns in O(1)
+    /// with zero probes and zero I/O. `None` while no runs exist.
+    /// Maintained together with the per-level [`Level::bounds`] at every
+    /// structural mutation.
+    bounds: Option<(Key, Key)>,
 }
 
 impl FlsmTree {
@@ -97,6 +103,7 @@ impl FlsmTree {
             pending_frees: Vec::new(),
             runs_recovered: 0,
             replayed_tail: 0,
+            bounds: None,
         })
     }
 
@@ -195,6 +202,10 @@ impl FlsmTree {
         }
         tree.seq = tree.seq.max(state.seq);
         tree.next_run_id = state.max_run_id + 1;
+        for level in &mut tree.levels {
+            level.refresh_bounds();
+        }
+        tree.refresh_tree_bounds();
         tree.replay_wal_tail(wal_path, sync_every)?;
         tree.manifest = Some(manifest);
         Ok(tree)
@@ -468,7 +479,19 @@ impl FlsmTree {
         if let Some(e) = self.memtable.get(key) {
             return (!e.is_tombstone()).then_some(e.value);
         }
+        // O(1) bound fast paths: a key outside the aggregate range of
+        // every resident run cannot exist on disk — return with zero
+        // probes, zero Bloom checks, and zero page I/O. The tree-wide
+        // check rejects in one comparison pair; a level whose own bounds
+        // exclude the key is skipped the same way.
+        match &self.bounds {
+            Some((lo, hi)) if lo.as_ref() <= key && key <= hi.as_ref() => {}
+            _ => return None,
+        }
         for idx in 0..self.levels.len() {
+            if !self.levels[idx].key_in_bounds(key) {
+                continue;
+            }
             let t0 = self.storage.clock().now();
             let mut found: Option<KvEntry> = None;
             for run in self.levels[idx].probe_order() {
@@ -529,6 +552,36 @@ impl FlsmTree {
             ));
             self.level_stats.push(LevelStats::default());
         }
+    }
+
+    /// Refreshes the cached bounds of `levels[idx]` and the tree-wide
+    /// aggregate; called after every mutation of a level's run set.
+    fn refresh_bounds(&mut self, idx: usize) {
+        self.levels[idx].refresh_bounds();
+        self.refresh_tree_bounds();
+    }
+
+    /// Recomputes the tree-wide aggregate bounds from the cached
+    /// per-level bounds (O(levels), no run access).
+    fn refresh_tree_bounds(&mut self) {
+        self.bounds = self.levels.iter().fold(None, |acc, l| {
+            let Some((lo, hi)) = &l.bounds else {
+                return acc;
+            };
+            Some(match acc {
+                None => (lo.clone(), hi.clone()),
+                Some((alo, ahi)) => (
+                    if *lo < alo { lo.clone() } else { alo },
+                    if *hi > ahi { hi.clone() } else { ahi },
+                ),
+            })
+        });
+    }
+
+    /// The tree-wide aggregate `[min, max]` key range over all resident
+    /// runs, or `None` while nothing has been flushed.
+    pub fn key_bounds(&self) -> Option<(&Key, &Key)> {
+        self.bounds.as_ref().map(|(lo, hi)| (lo, hi))
     }
 
     /// Admits a sorted batch (from a flush or an upper-level merge) into the
@@ -597,6 +650,7 @@ impl FlsmTree {
         st.compact_pages_read += dm.pages_read;
         st.compact_pages_written += dm.pages_written;
         st.compact_keys += keys_processed;
+        self.refresh_bounds(idx);
 
         if self.levels[idx].is_full() {
             self.merge_down(idx);
@@ -640,6 +694,10 @@ impl FlsmTree {
         st.compact_keys += keys;
         st.merges_down += 1;
 
+        // `take_all_runs` emptied the level; the tree aggregate must not
+        // keep covering its former range (the admitted batch below may be
+        // empty after tombstone drops, so this cannot ride on admit_batch).
+        self.refresh_bounds(idx);
         self.adopt_pending_policy(idx);
         self.admit_batch(idx + 1, batch);
     }
@@ -791,6 +849,7 @@ impl FlsmTree {
     /// diverge only in shard-merged snapshots.
     pub fn stats(&self) -> TreeStatsSnapshot {
         let domain_ns = self.storage.clock().now_ns();
+        let io = self.storage.metrics();
         TreeStatsSnapshot {
             lookups: self.lookups,
             updates: self.updates,
@@ -804,6 +863,9 @@ impl FlsmTree {
             manifest_edits: self.manifest.as_ref().map_or(0, Manifest::edits),
             runs_recovered: self.runs_recovered,
             replayed_tail: self.replayed_tail,
+            cache_hits: io.cache_hits,
+            cache_misses: io.cache_misses,
+            cache_evictions: io.cache_evictions,
             levels: self.level_stats.iter().map(LevelStats::snapshot).collect(),
         }
     }
@@ -926,6 +988,10 @@ impl FlsmTree {
                 }
             }
         }
+        for idx in 0..self.levels.len() {
+            self.levels[idx].refresh_bounds();
+        }
+        self.refresh_tree_bounds();
         let seq = self.seq;
         self.log_edit(ManifestEdit::SeqWatermark { seq });
         self.commit_manifest();
@@ -1383,6 +1449,148 @@ mod tests {
         );
         assert!(!t.commit_wal().unwrap(), "idle shard must not re-sync");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The cached aggregate bounds — per level and the tree total — must
+    /// equal the values recomputed fresh from the resident runs.
+    fn assert_bounds_invariant(t: &FlsmTree) {
+        let mut want: Option<(Key, Key)> = None;
+        for l in &t.levels {
+            assert_eq!(
+                l.bounds,
+                l.computed_bounds(),
+                "level {} cached bounds diverged from the resident runs",
+                l.index
+            );
+            if let Some((lo, hi)) = &l.bounds {
+                want = Some(match want {
+                    None => (lo.clone(), hi.clone()),
+                    Some((wl, wh)) => (
+                        if *lo < wl { lo.clone() } else { wl },
+                        if *hi > wh { hi.clone() } else { wh },
+                    ),
+                });
+            }
+        }
+        assert_eq!(
+            t.bounds, want,
+            "tree aggregate bounds diverged from the level bounds"
+        );
+    }
+
+    /// ISSUE tentpole (c): a lookup outside every resident run's range
+    /// costs zero run probes (hence zero Bloom checks) and zero page
+    /// reads — the O(1) bound fast path rejects before any per-run work.
+    #[test]
+    fn out_of_bounds_lookup_costs_zero_probes_and_zero_reads() {
+        let mut t = small_tree();
+        for i in 100..300u64 {
+            t.put(key(i), val(i));
+        }
+        t.flush(); // memtable empty: lookups must go to the levels
+        let (lo, hi) = {
+            let (lo, hi) = t.key_bounds().expect("resident runs have bounds");
+            (lo.clone(), hi.clone())
+        };
+        assert_eq!(lo, key(100));
+        assert_eq!(hi, key(299));
+
+        let probes = |t: &FlsmTree| -> u64 { t.stats().levels.iter().map(|l| l.probes).sum() };
+        let probes_before = probes(&t);
+        let reads_before = t.storage.metrics().pages_read;
+        assert_eq!(t.get(&key(5)), None, "below every bound");
+        assert_eq!(t.get(&key(100_000)), None, "above every bound");
+        assert_eq!(
+            probes(&t),
+            probes_before,
+            "out-of-range lookups must probe no run"
+        );
+        assert_eq!(
+            t.storage.metrics().pages_read,
+            reads_before,
+            "out-of-range lookups must read no page"
+        );
+        // In-range lookups still pay the normal probe path.
+        assert_eq!(t.get(&key(150)), Some(val(150)));
+        assert!(probes(&t) > probes_before);
+    }
+
+    /// The bounds caches stay exact through every structural mutation:
+    /// flushes, compaction cascades, and all three transition strategies
+    /// (greedy rewrites run membership via `merge_down`).
+    #[test]
+    fn bounds_invariant_holds_through_mutations() {
+        for strategy in [
+            TransitionStrategy::Flexible,
+            TransitionStrategy::Lazy,
+            TransitionStrategy::Greedy,
+        ] {
+            let disk = SimulatedDisk::new(256, CostModel::FREE);
+            let cfg = LsmConfig {
+                buffer_bytes: 1024,
+                size_ratio: 4,
+                initial_policy: 2,
+                transition: strategy,
+                ..LsmConfig::scaled_default()
+            };
+            let mut t = FlsmTree::new(cfg, disk);
+            assert_eq!(t.key_bounds(), None, "empty tree has no bounds");
+            for i in 0..2500u64 {
+                t.put(key(i), val(i));
+                if i % 500 == 0 {
+                    assert_bounds_invariant(&t);
+                }
+            }
+            t.flush();
+            assert_bounds_invariant(&t);
+            t.set_policy(0, 4);
+            assert_bounds_invariant(&t);
+            t.set_policy(1, 3);
+            assert_bounds_invariant(&t);
+            t.set_policy(0, 1);
+            assert_bounds_invariant(&t);
+            for i in 2500..3000u64 {
+                t.put(key(i), val(i));
+            }
+            t.flush();
+            assert_bounds_invariant(&t);
+        }
+    }
+
+    /// Recovery rebuilds the bounds caches: a recovered persistent tree
+    /// carries exact bounds and rejects out-of-range keys for free.
+    #[test]
+    fn bounds_rebuilt_by_recovery() {
+        let dir = persist_dir("bounds");
+        let cfg = LsmConfig {
+            buffer_bytes: 1024,
+            size_ratio: 4,
+            initial_policy: 2,
+            ..LsmConfig::scaled_default()
+        };
+        {
+            let mut t = persistent_tree(&dir, cfg.clone());
+            for i in 50..800u64 {
+                t.put(key(i), val(i));
+            }
+            t.commit_wal().unwrap();
+            assert!(t.stats().flushes > 0);
+            drop(t);
+        }
+        let mut r = recover_persistent_tree(&dir, cfg);
+        assert_bounds_invariant(&r);
+        let probes_before: u64 = r.stats().levels.iter().map(|l| l.probes).sum();
+        let reads_before = r.storage.metrics().pages_read;
+        assert_eq!(r.get(&key(10)), None);
+        assert_eq!(r.get(&key(10_000)), None);
+        assert_eq!(
+            r.stats().levels.iter().map(|l| l.probes).sum::<u64>(),
+            probes_before,
+            "recovered tree must reject out-of-range keys without probing"
+        );
+        assert_eq!(r.storage.metrics().pages_read, reads_before);
+        assert_eq!(r.get(&key(400)), Some(val(400)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn persist_dir(name: &str) -> std::path::PathBuf {

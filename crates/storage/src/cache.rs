@@ -1,9 +1,35 @@
-//! A simple LRU block cache over any [`Storage`] backend.
+//! A sharded, O(1)-eviction LRU block cache over any [`Storage`] backend.
 //!
-//! The paper motivates black-box (RL) modeling partly because components such
-//! as memory caches defeat white-box formulas (§1.2). We therefore provide a
-//! cache layer so experiments can probe that effect; it is *disabled by
-//! default* to match the paper's direct-I/O evaluation setup.
+//! The paper motivates black-box (RL) modeling partly because components
+//! such as memory caches defeat white-box formulas (§1.2). This cache is
+//! built to *serve*, not just to exist for that experiment:
+//!
+//! * **Sharded locking** — the capacity is split across K independently
+//!   locked LRU segments, keyed by a hash of `(extent, page)`, so
+//!   concurrent readers on different pages contend on different locks
+//!   instead of one global mutex.
+//! * **O(1) eviction** — each segment keeps an intrusive doubly-linked
+//!   recency list over a slab plus a `HashMap` from page key to slot:
+//!   hit, insert, and evict are all constant-time (the seed cache's
+//!   min-scan over every resident page is gone).
+//! * **Exact counters** — hits, misses, and evictions surface three ways:
+//!   per-call in the returned [`IoCharge`] (so stacked storage views
+//!   mirror them into their domains), aggregated in
+//!   [`Storage::metrics`], and directly via [`BlockCache::hits`] /
+//!   [`BlockCache::misses`] / [`BlockCache::evictions`].
+//! * **Invalidation on free** — [`Storage::free`] purges the extent's
+//!   pages from every segment *before* forwarding, so an extent id whose
+//!   pages were freed under the two-log contract (only after the manifest
+//!   commit) can never serve stale data.
+//!
+//! Virtual-cost semantics are unchanged from the seed: a hit charges only
+//! [`CostModel::cpu_probe_ns`] and performs no device I/O; a miss forwards
+//! to the inner device and fills the cache (reads are write-allocated,
+//! writes are write-through). The cache stays **disabled by default** on
+//! the simulated backend, matching the paper's direct-I/O setup and
+//! keeping that path's accounting bit-identical; the persistent store
+//! wires it over each shard's `FileDisk` via
+//! `PersistenceConfig::cache_pages`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,72 +45,197 @@ use crate::metrics::StorageMetrics;
 /// Key identifying a cached page.
 type PageKey = (u64, u32);
 
-struct LruInner {
+/// Default segment count; small capacities use fewer (≥ 1 page each).
+const DEFAULT_SEGMENTS: usize = 8;
+
+/// Sentinel slot index for list ends and free slots.
+const NIL: usize = usize::MAX;
+
+/// One resident page: slab slot carrying the intrusive recency links.
+struct Slot {
+    key: PageKey,
+    data: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked LRU segment: `map` finds the slot in O(1),
+/// the intrusive list orders recency, `free` recycles slots — every
+/// operation (hit, insert, evict, remove) is constant-time.
+struct Segment {
     capacity: usize,
-    /// Map from page key to (tick, data). `tick` orders recency.
-    map: HashMap<PageKey, (u64, Arc<[u8]>)>,
-    tick: u64,
+    map: HashMap<PageKey, usize>,
+    slab: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot (the eviction victim).
+    tail: usize,
 }
 
-impl LruInner {
-    fn touch(&mut self, key: PageKey) -> Option<Arc<[u8]>> {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some((t, data)) = self.map.get_mut(&key) {
-            *t = tick;
-            Some(Arc::clone(data))
-        } else {
-            None
+impl Segment {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 
-    fn insert(&mut self, key: PageKey, data: Arc<[u8]>) {
-        self.tick += 1;
-        self.map.insert(key, (self.tick, data));
-        // Evict least-recently-used entries over capacity. A linear scan is
-        // acceptable here: caches in the experiments hold at most a few
-        // thousand pages and insertions are rare relative to hits.
-        while self.map.len() > self.capacity {
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (t, _))| *t) {
-                self.map.remove(&victim);
-            } else {
-                break;
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Looks a page up, promoting it to most-recently-used on a hit.
+    fn get(&mut self, key: PageKey) -> Option<Arc<[u8]>> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(Arc::clone(&self.slab[i].data))
+    }
+
+    /// Inserts (or refreshes) a page, returning how many pages were
+    /// evicted to make room (0 or 1).
+    fn insert(&mut self, key: PageKey, data: Arc<[u8]>) -> u64 {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].data = data;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
             }
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full segment must have a tail");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            evicted = 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Slot {
+                    key,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Slot {
+                    key,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Drops every resident page of an extent (O(pages resident)).
+    fn remove_extent(&mut self, id: u64) {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|((eid, _), _)| *eid == id)
+            .map(|(_, &i)| i)
+            .collect();
+        for i in victims {
+            self.unlink(i);
+            self.map.remove(&self.slab[i].key);
+            self.free.push(i);
         }
     }
 
-    fn invalidate_extent(&mut self, id: u64) {
-        self.map.retain(|(eid, _), _| *eid != id);
+    fn len(&self) -> usize {
+        self.map.len()
     }
 }
 
-/// An LRU page cache wrapping an inner [`Storage`].
+/// A sharded LRU page cache wrapping an inner [`Storage`].
 ///
-/// Hits cost only [`CostModel::cpu_probe_ns`]; misses go to the inner device.
+/// Hits cost only [`CostModel::cpu_probe_ns`]; misses go to the inner
+/// device. See the module docs for the locking and eviction design.
 pub struct BlockCache<S: Storage> {
     inner: Arc<S>,
-    lru: Mutex<LruInner>,
+    segments: Vec<Mutex<Segment>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<S: Storage> BlockCache<S> {
-    /// Wraps `inner` with a cache holding up to `capacity_pages` pages.
+    /// Wraps `inner` with a cache holding up to `capacity_pages` pages,
+    /// split over `min(8, capacity_pages)` segments.
     pub fn new(inner: Arc<S>, capacity_pages: usize) -> Arc<Self> {
+        let segments = DEFAULT_SEGMENTS.min(capacity_pages.max(1));
+        Self::with_segments(inner, capacity_pages, segments)
+    }
+
+    /// Wraps `inner` with an explicit segment count (tests pin strict
+    /// global LRU order with one segment).
+    pub fn with_segments(inner: Arc<S>, capacity_pages: usize, segments: usize) -> Arc<Self> {
         assert!(
             capacity_pages > 0,
             "use the raw storage for a zero-size cache"
         );
+        assert!(
+            (1..=capacity_pages).contains(&segments),
+            "need 1..=capacity_pages segments so every segment holds a page"
+        );
+        // Distribute the capacity exactly: the first `capacity % segments`
+        // segments take one extra page.
+        let (base, rem) = (capacity_pages / segments, capacity_pages % segments);
+        let segments = (0..segments)
+            .map(|i| Mutex::new(Segment::new(base + usize::from(i < rem))))
+            .collect();
         Arc::new(Self {
             inner,
-            lru: Mutex::new(LruInner {
-                capacity: capacity_pages,
-                map: HashMap::new(),
-                tick: 0,
-            }),
+            segments,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
+    }
+
+    /// The segment responsible for a page (FNV-1a over the key).
+    fn segment(&self, key: PageKey) -> &Mutex<Segment> {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.0.to_le_bytes().into_iter().chain(key.1.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.segments[(h % self.segments.len() as u64) as usize]
     }
 
     /// Number of cache hits served.
@@ -97,6 +248,11 @@ impl<S: Storage> BlockCache<S> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of pages evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Hit ratio in `[0, 1]`; zero when no reads have occurred.
     pub fn hit_ratio(&self) -> f64 {
         let h = self.hits() as f64;
@@ -106,6 +262,17 @@ impl<S: Storage> BlockCache<S> {
         } else {
             h / (h + m)
         }
+    }
+
+    /// Pages currently resident across all segments.
+    pub fn cached_pages(&self) -> usize {
+        self.segments.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn insert(&self, key: PageKey, data: Arc<[u8]>) -> u64 {
+        let evicted = self.segment(key).lock().insert(key, data);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
     }
 }
 
@@ -120,14 +287,14 @@ impl<S: Storage> Storage for BlockCache<S> {
 
     fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge {
         // Write-through: keep the cache coherent and always persist.
-        self.lru
-            .lock()
-            .insert((ext.id, idx), Arc::from(data.to_vec().into_boxed_slice()));
-        self.inner.write_page(ext, idx, data)
+        let evicted = self.insert((ext.id, idx), Arc::from(data.to_vec().into_boxed_slice()));
+        let mut charge = self.inner.write_page(ext, idx, data);
+        charge.io.cache_evictions += evicted;
+        charge
     }
 
     fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
-        let cached = self.lru.lock().touch((ext.id, idx));
+        let cached = self.segment((ext.id, idx)).lock().get((ext.id, idx));
         if let Some(data) = cached {
             buf.clear();
             buf.extend_from_slice(&data);
@@ -137,25 +304,38 @@ impl<S: Storage> Storage for BlockCache<S> {
             // A hit performs no device I/O: only the CPU probe is charged.
             IoCharge {
                 ns: probe_ns,
-                io: StorageMetrics::default(),
+                io: StorageMetrics {
+                    cache_hits: 1,
+                    ..StorageMetrics::default()
+                },
             }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let charge = self.inner.read_page(ext, idx, buf);
-            self.lru
-                .lock()
-                .insert((ext.id, idx), Arc::from(buf.clone().into_boxed_slice()));
+            let mut charge = self.inner.read_page(ext, idx, buf);
+            charge.io.cache_misses = 1;
+            charge.io.cache_evictions +=
+                self.insert((ext.id, idx), Arc::from(buf.clone().into_boxed_slice()));
             charge
         }
     }
 
     fn free(&self, ext: Extent) {
-        self.lru.lock().invalidate_extent(ext.id);
+        // Purge before forwarding: once the inner device reuses the id,
+        // no stale page may survive here.
+        for seg in &self.segments {
+            seg.lock().remove_extent(ext.id);
+        }
         self.inner.free(ext);
     }
 
+    /// The inner device's counters plus this cache's hit/miss/eviction
+    /// totals (hits never reach the device, so they only exist here).
     fn metrics(&self) -> StorageMetrics {
-        self.inner.metrics()
+        let mut m = self.inner.metrics();
+        m.cache_hits += self.hits();
+        m.cache_misses += self.misses();
+        m.cache_evictions += self.evictions();
+        m
     }
 
     fn clock(&self) -> &VirtualClock {
@@ -164,6 +344,10 @@ impl<S: Storage> Storage for BlockCache<S> {
 
     fn cost_model(&self) -> CostModel {
         self.inner.cost_model()
+    }
+
+    fn charge_cpu(&self, ns: u64) {
+        self.inner.charge_cpu(ns);
     }
 
     fn live_pages(&self) -> u64 {
@@ -181,28 +365,40 @@ mod tests {
         (BlockCache::new(Arc::clone(&disk), cap), disk)
     }
 
+    /// One segment: strict global LRU order, for deterministic recency
+    /// assertions.
+    fn setup_lru(cap: usize) -> (Arc<BlockCache<SimulatedDisk>>, Arc<SimulatedDisk>) {
+        let disk = SimulatedDisk::new(128, CostModel::NVME);
+        (BlockCache::with_segments(Arc::clone(&disk), cap, 1), disk)
+    }
+
     #[test]
     fn hit_avoids_device_read() {
         let (cache, disk) = setup(4);
         let ext = cache.allocate(1);
         cache.write_page(ext, 0, b"abc");
         let mut buf = Vec::new();
-        cache.read_page(ext, 0, &mut buf); // hit: write-through populated it
+        let charge = cache.read_page(ext, 0, &mut buf); // hit: write-through populated it
         assert_eq!(&buf, b"abc");
         assert_eq!(cache.hits(), 1);
         assert_eq!(disk.metrics().pages_read, 0);
+        assert_eq!(charge.io.cache_hits, 1, "hit flows through the IoCharge");
+        assert_eq!(charge.io.pages_read, 0);
+        assert_eq!(charge.ns, CostModel::NVME.cpu_probe_ns);
     }
 
     #[test]
     fn miss_fills_cache() {
-        let (cache, disk) = setup(1);
+        let (cache, disk) = setup_lru(1);
         let a = cache.allocate(1);
         let b = cache.allocate(1);
         cache.write_page(a, 0, b"a");
         cache.write_page(b, 0, b"b"); // evicts a (capacity 1)
+        assert_eq!(cache.evictions(), 1);
         let mut buf = Vec::new();
-        cache.read_page(a, 0, &mut buf); // miss
+        let charge = cache.read_page(a, 0, &mut buf); // miss
         assert_eq!(cache.misses(), 1);
+        assert_eq!(charge.io.cache_misses, 1, "miss flows through the IoCharge");
         assert_eq!(disk.metrics().pages_read, 1);
         cache.read_page(a, 0, &mut buf); // now a hit
         assert_eq!(cache.hits(), 1);
@@ -210,7 +406,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest() {
-        let (cache, disk) = setup(2);
+        let (cache, disk) = setup_lru(2);
         let ext = cache.allocate(3);
         cache.write_page(ext, 0, b"0");
         cache.write_page(ext, 1, b"1");
@@ -221,6 +417,23 @@ mod tests {
         assert_eq!(disk.metrics().pages_read, 0);
         cache.read_page(ext, 0, &mut buf);
         assert_eq!(disk.metrics().pages_read, 1);
+    }
+
+    /// A hit must *promote*: after touching the LRU page, the other
+    /// resident page becomes the next victim.
+    #[test]
+    fn hit_promotes_to_mru() {
+        let (cache, disk) = setup_lru(2);
+        let ext = cache.allocate(3);
+        cache.write_page(ext, 0, b"0");
+        cache.write_page(ext, 1, b"1");
+        let mut buf = Vec::new();
+        cache.read_page(ext, 0, &mut buf); // promote page 0
+        cache.write_page(ext, 2, b"2"); // must evict page 1, not 0
+        cache.read_page(ext, 0, &mut buf);
+        assert_eq!(disk.metrics().pages_read, 0, "promoted page stayed");
+        cache.read_page(ext, 1, &mut buf);
+        assert_eq!(disk.metrics().pages_read, 1, "LRU page was evicted");
     }
 
     #[test]
@@ -248,5 +461,76 @@ mod tests {
         cache.read_page(ext, 0, &mut buf);
         cache.read_page(ext, 0, &mut buf);
         assert!((cache.hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    /// Sharded capacity is exact: residency never exceeds the configured
+    /// page budget, whatever the access pattern.
+    #[test]
+    fn sharded_capacity_is_bounded() {
+        let (cache, _) = setup(13);
+        let ext = cache.allocate(200);
+        for i in 0..200 {
+            cache.write_page(ext, i, &[i as u8; 16]);
+        }
+        assert!(cache.cached_pages() <= 13, "capacity overrun");
+        assert!(cache.evictions() > 0);
+        let mut buf = Vec::new();
+        for i in 0..200 {
+            cache.read_page(ext, i, &mut buf);
+            assert_eq!(buf[0], i as u8);
+        }
+        assert!(cache.cached_pages() <= 13, "capacity overrun after reads");
+    }
+
+    /// Invalidation reaches every segment, and metrics() reports the
+    /// cache counters on top of the device's.
+    #[test]
+    fn invalidation_spans_segments_and_metrics_aggregate() {
+        let (cache, _) = setup(64);
+        let a = cache.allocate(32);
+        let b = cache.allocate(4);
+        for i in 0..32 {
+            cache.write_page(a, i, b"a");
+        }
+        for i in 0..4 {
+            cache.write_page(b, i, b"b");
+        }
+        cache.free(a);
+        assert_eq!(cache.cached_pages(), 4, "only extent b remains resident");
+        let mut buf = Vec::new();
+        for i in 0..4 {
+            cache.read_page(b, i, &mut buf);
+        }
+        let m = cache.metrics();
+        assert_eq!(m.cache_hits, 4);
+        assert_eq!(m.cache_misses, 0);
+        assert_eq!(m.cache_evictions, 0);
+    }
+
+    /// Concurrent readers through the sharded segments: results stay
+    /// exact and hits + misses account for every read.
+    #[test]
+    fn concurrent_reads_are_exact() {
+        let disk = SimulatedDisk::new(128, CostModel::FREE);
+        let cache = BlockCache::new(Arc::clone(&disk), 32);
+        let ext = cache.allocate(64);
+        for i in 0..64 {
+            cache.write_page(ext, i, &[i as u8; 8]);
+        }
+        let (h0, m0) = (cache.hits(), cache.misses());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    let mut buf = Vec::new();
+                    for round in 0..200u32 {
+                        let i = (round * 7 + t) % 64;
+                        cache.read_page(ext, i, &mut buf);
+                        assert_eq!(buf[0], i as u8, "stale or torn page");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() - h0 + (cache.misses() - m0), 800);
     }
 }

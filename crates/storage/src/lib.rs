@@ -20,10 +20,14 @@
 //! * [`CostModel`] — per-page I/O latencies plus the CPU cost constants
 //!   (`c_r`, `c_w`) used by the paper's white-box model (§5.2, Eq. 5).
 //! * [`SimulatedDisk`] — page store with exact I/O accounting.
-//! * [`BlockCache`] — optional LRU page cache (disabled by default to match
-//!   the paper's direct-I/O setup).
+//! * [`BlockCache`] — sharded, O(1)-eviction LRU page cache. Disabled by
+//!   default on the simulated backend (matching the paper's direct-I/O
+//!   setup, so virtual accounting stays bit-identical); the persistent
+//!   store serves each shard's file disk through one.
 //! * [`FileDisk`] — a real-file backend implementing the same [`Storage`]
-//!   trait, for running the engine against an actual filesystem.
+//!   trait, for running the engine against an actual filesystem: cached
+//!   fds (one `open` per extent, not per read), positional `pread`/
+//!   `pwrite` I/O, and a thread-local reusable page buffer.
 
 #![warn(missing_docs)]
 

@@ -11,6 +11,9 @@ pub(crate) struct AtomicMetrics {
     pub bytes_written: AtomicU64,
     pub read_ns: AtomicU64,
     pub write_ns: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
 }
 
 impl AtomicMetrics {
@@ -26,6 +29,11 @@ impl AtomicMetrics {
             .fetch_add(d.bytes_written, Ordering::Relaxed);
         self.read_ns.fetch_add(d.read_ns, Ordering::Relaxed);
         self.write_ns.fetch_add(d.write_ns, Ordering::Relaxed);
+        self.cache_hits.fetch_add(d.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(d.cache_misses, Ordering::Relaxed);
+        self.cache_evictions
+            .fetch_add(d.cache_evictions, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StorageMetrics {
@@ -36,6 +44,9 @@ impl AtomicMetrics {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             read_ns: self.read_ns.load(Ordering::Relaxed),
             write_ns: self.write_ns.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -58,6 +69,13 @@ pub struct StorageMetrics {
     pub read_ns: u64,
     /// Virtual nanoseconds spent on writes.
     pub write_ns: u64,
+    /// Page reads served from a block cache without touching the device
+    /// (0 on backends without a cache in front).
+    pub cache_hits: u64,
+    /// Page reads that missed the block cache and went to the device.
+    pub cache_misses: u64,
+    /// Pages evicted from the block cache to make room.
+    pub cache_evictions: u64,
 }
 
 impl StorageMetrics {
@@ -70,6 +88,9 @@ impl StorageMetrics {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             read_ns: self.read_ns.saturating_sub(earlier.read_ns),
             write_ns: self.write_ns.saturating_sub(earlier.write_ns),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 
@@ -97,6 +118,9 @@ mod tests {
             bytes_written: 2048,
             read_ns: 100,
             write_ns: 50,
+            cache_hits: 9,
+            cache_misses: 6,
+            cache_evictions: 3,
         };
         let b = StorageMetrics {
             pages_read: 3,
@@ -105,6 +129,9 @@ mod tests {
             bytes_written: 512,
             read_ns: 20,
             write_ns: 10,
+            cache_hits: 4,
+            cache_misses: 2,
+            cache_evictions: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.pages_read, 7);
@@ -113,6 +140,9 @@ mod tests {
         assert_eq!(d.bytes_written, 1536);
         assert_eq!(d.io_ns(), 120);
         assert_eq!(d.page_ops(), 10);
+        assert_eq!(d.cache_hits, 5);
+        assert_eq!(d.cache_misses, 4);
+        assert_eq!(d.cache_evictions, 2);
     }
 
     #[test]

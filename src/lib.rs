@@ -96,6 +96,50 @@
 //! `N ∈ {1, 2, 4}` with a random-schedule proptest and a manifest replay
 //! fuzz test; and `repro persistence --json` reports a `persistence_ok`
 //! verdict CI greps.
+//!
+//! # The read path: serving-grade raw speed
+//!
+//! Point lookups are engineered to cost as little *real* time as the
+//! layout allows, in three layers that compose:
+//!
+//! * **O(1) out-of-range rejection** — every level maintains the
+//!   aggregate `[min, max]` key bounds of its runs (and the tree the
+//!   union across levels), refreshed incrementally on flush, compaction,
+//!   policy transition, and recovery. A get outside the tree bounds
+//!   returns in constant time — zero Bloom probes, zero fence-pointer
+//!   searches, zero page reads — and a get outside one level's bounds
+//!   skips that whole level ([`lsm::FlsmTree::key_bounds`]).
+//! * **a sharded, serving-grade block cache** —
+//!   [`storage::BlockCache`] keys pages by `(extent, page)` across K
+//!   independently locked LRU segments (FNV-1a segment selection, true
+//!   O(1) insert/touch/evict on an intrusive slab list). A hit costs a
+//!   memcpy and charges only the CPU probe cost to the virtual clock —
+//!   the cost model's accounting stays exact, so cache-disabled runs
+//!   remain bit-identical to the simulated device. Invalidation follows
+//!   the two-log contract: [`storage::Storage::free`] purges the
+//!   extent's pages *before* the id can be reused, so recovery and
+//!   compaction can never serve a stale page
+//!   (`tests/cache_equivalence.rs` pins cached ≡ uncached at
+//!   `N ∈ {1, 2, 4}` through flushes, compaction, and restart).
+//! * **zero-alloc positional file I/O** — [`storage::FileDisk`] caches
+//!   one file handle per extent (open once, `pread`/`pwrite` thereafter,
+//!   no seek state and no per-read `open`) and stages pages through a
+//!   reusable thread-local buffer; `fds_opened` / `buffer_grows`
+//!   counters prove both properties at steady state.
+//!
+//! Cache traffic is observable end to end: hit/miss/eviction counters
+//! flow from [`storage::StorageMetrics`] through
+//! [`lsm::TreeStatsSnapshot`] into
+//! [`ruskey::stats::MissionReport::cache_hits`] (and
+//! `cache_hit_ratio()`), the file-backed `repro shard_scaling` rows
+//! (which also carry measured `real_get_ns_per_op`), and the dedicated
+//! `repro read_path --json` experiment, whose `read_path_ok` verdict CI
+//! greps: cached hot lookups must beat the uncached baseline, missing
+//! keys must cost less than hot hits (the bound fast path), and the
+//! steady state must be alloc-free. Each persistent shard serves
+//! through its own cache, sized by
+//! [`ruskey::sharded::PersistenceConfig`]'s `cache_pages` (0 disables
+//! caching entirely).
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;
