@@ -5,8 +5,8 @@
 //!
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
-//!   bruteforce  shard_scaling  durability  persistence  read_path  all
-//!   ablations  lab
+//!   bruteforce  shard_scaling  durability  persistence  read_path
+//!   compaction  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -461,6 +461,50 @@ fn run_read_path(scale: &ExperimentScale, scale_label: &str, json_path: &Option<
     println!();
 }
 
+fn run_compaction(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Compaction: per-op virtual latency, structural work inline vs background ==");
+    let rows = compaction(scale);
+    println!(
+        "{:<12}{:>10}{:>12}{:>12}{:>14}{:>10}{:>10}{:>14}{:>14}{:>10}{:>8}",
+        "variant",
+        "ops",
+        "p50 ns",
+        "p99 ns",
+        "max ns",
+        "flushes",
+        "bg steps",
+        "stall ns",
+        "pending B",
+        "checks",
+        "ok"
+    );
+    for r in &rows {
+        println!(
+            "{:<12}{:>10}{:>12}{:>12}{:>14}{:>10}{:>10}{:>14}{:>14}{:>10}{:>8}",
+            r.variant,
+            r.ops,
+            r.p50_ns,
+            r.p99_ns,
+            r.max_ns,
+            r.flushes,
+            r.bg_compactions,
+            r.stall_ns,
+            r.pending_compaction_bytes,
+            r.equivalence_checks,
+            r.ok
+        );
+    }
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "compaction.json".to_string());
+    let json = compaction_json(scale_label, &rows);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_bruteforce(scale: &ExperimentScale) {
     println!("== Brute-force learning comparison (write-heavy workload) ==");
     for r in bruteforce(scale) {
@@ -549,7 +593,12 @@ fn main() {
     if want("bruteforce") {
         run_bruteforce(scale);
     }
-    if want("shard_scaling") || want("durability") || want("persistence") || want("read_path") {
+    if want("shard_scaling")
+        || want("durability")
+        || want("persistence")
+        || want("read_path")
+        || want("compaction")
+    {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
             n if n <= 2_000 => "tiny",
@@ -584,6 +633,14 @@ fn main() {
                 &None
             };
             run_read_path(scale, label, json);
+        }
+        if want("compaction") {
+            let json = if args.experiment == "compaction" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_compaction(scale, label, json);
         }
     }
     if args.experiment == "ablations" {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod compaction;
 pub mod durability;
 pub mod experiments;
 pub mod output;
@@ -17,6 +18,7 @@ pub mod read_path;
 pub mod scaling;
 
 pub use ablations::*;
+pub use compaction::*;
 pub use durability::*;
 pub use experiments::*;
 pub use output::*;

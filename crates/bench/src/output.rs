@@ -1,5 +1,6 @@
 //! Plain-text table, CSV, and JSON rendering for experiment results.
 
+use crate::compaction::CompactionRow;
 use crate::durability::DurabilityRow;
 use crate::experiments::{Comparison, RankingTable, Series};
 use crate::persistence::PersistenceRow;
@@ -166,6 +167,63 @@ pub fn read_path_json(scale_label: &str, rows: &[ReadPathRow]) -> String {
             r.hot_device_reads,
             r.missing_device_reads,
             r.missing_probes,
+            r.ok,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the background-compaction experiment as machine-readable
+/// JSON. Each row carries the per-op virtual-latency percentiles, the
+/// structural counters (`flushes`, `bg_compactions`, `stall_ns`,
+/// `pending_compaction_bytes`), and the model-equivalence accounting;
+/// the per-row verdicts conjoin into the top-level `compaction_ok` flag
+/// CI greps as a smoke check (background p99 no worse than inline p99,
+/// zero read divergence including during in-flight merges and through a
+/// pinned snapshot, background compactions actually observed).
+/// `p99_speedup_vs_inline` is the inline row's p99 over the background
+/// row's — the tail-latency win of moving structural work off the hot
+/// path.
+pub fn compaction_json(scale_label: &str, rows: &[CompactionRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"compaction\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!(
+        "  \"compaction_ok\": {},\n",
+        rows.iter().all(|r| r.ok)
+    ));
+    let inline_p99 = rows
+        .iter()
+        .find(|r| r.variant == "inline")
+        .map(|r| r.p99_ns);
+    let bg_p99 = rows
+        .iter()
+        .find(|r| r.variant == "background")
+        .map(|r| r.p99_ns);
+    if let (Some(i), Some(b)) = (inline_p99, bg_p99) {
+        out.push_str(&format!(
+            "  \"p99_speedup_vs_inline\": {:.2},\n",
+            if b > 0 { i as f64 / b as f64 } else { 0.0 }
+        ));
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"ops\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"max_ns\": {}, \"flushes\": {}, \"bg_compactions\": {}, \"stall_ns\": {}, \
+             \"pending_compaction_bytes\": {}, \"equivalence_checks\": {}, \"ok\": {}}}{}\n",
+            r.variant,
+            r.ops,
+            r.p50_ns,
+            r.p99_ns,
+            r.max_ns,
+            r.flushes,
+            r.bg_compactions,
+            r.stall_ns,
+            r.pending_compaction_bytes,
+            r.equivalence_checks,
             r.ok,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -480,6 +538,46 @@ mod tests {
             &[row("cached", 400.0, true), row("uncached", 1600.0, false)],
         );
         assert!(bad.contains("\"read_path_ok\": false"));
+        // Balanced braces/brackets, no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn compaction_json_carries_verdict_and_speedup() {
+        let row = |variant: &'static str, p99: u64, ok: bool| CompactionRow {
+            variant,
+            ops: 4000,
+            p50_ns: 900,
+            p99_ns: p99,
+            max_ns: p99 * 3,
+            flushes: 60,
+            bg_compactions: if variant == "background" { 12 } else { 0 },
+            stall_ns: if variant == "background" { 5000 } else { 0 },
+            pending_compaction_bytes: 0,
+            equivalence_checks: 1200,
+            ok,
+        };
+        let json = compaction_json(
+            "tiny",
+            &[row("inline", 80_000, true), row("background", 20_000, true)],
+        );
+        assert!(json.contains("\"experiment\": \"compaction\""));
+        assert!(json.contains("\"compaction_ok\": true"));
+        assert!(json.contains("\"p99_speedup_vs_inline\": 4.00"));
+        assert_eq!(json.matches("\"p99_ns\":").count(), 2);
+        assert_eq!(json.matches("\"bg_compactions\":").count(), 2);
+        assert_eq!(json.matches("\"equivalence_checks\":").count(), 2);
+        // One failing row flips the top-level verdict.
+        let bad = compaction_json(
+            "tiny",
+            &[
+                row("inline", 80_000, true),
+                row("background", 90_000, false),
+            ],
+        );
+        assert!(bad.contains("\"compaction_ok\": false"));
         // Balanced braces/brackets, no trailing comma before the close.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

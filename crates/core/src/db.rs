@@ -238,6 +238,12 @@ impl RusKey {
         for op in ops {
             execute_op(&mut self.tree, op);
         }
+        // Mission boundary is where deferred structural work runs: a few
+        // bounded maintenance steps per batch keep flushes and
+        // compactions off the operations above.
+        if self.tree.config().background_maintenance {
+            self.tree.maintain(4);
+        }
         // Mission-boundary commit: with a WAL attached (via
         // [`FlsmTree::attach_wal`]) the batch is acknowledged with a
         // single fsync, mirroring the sharded store's group-commit

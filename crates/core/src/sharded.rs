@@ -490,6 +490,13 @@ fn worker_loop(shard: usize, jobs: Receiver<Job>) {
                 for op in &ops {
                     execute_op(&mut tree, op);
                 }
+                // The shard's background maintenance lane: deferred
+                // flushes and compactions run here, between the lane's
+                // operations and its commit leg — off every op's path,
+                // overlapped with the sibling shards' lanes.
+                if tree.config().background_maintenance {
+                    tree.maintain(4);
+                }
                 // The commit leg runs as soon as this shard's lane is
                 // done — overlapped with siblings still executing theirs.
                 let commit = commit_leg(&mut tree);

@@ -98,6 +98,18 @@ pub struct MissionReport {
     pub cache_misses: u64,
     /// Block-cache evictions during the mission (summed over shards).
     pub cache_evictions: u64,
+    /// Virtual ns the mission's writes spent blocked on structural work
+    /// (inline flushes/cascades, background-mode backpressure stalls;
+    /// summed over shards).
+    pub stall_ns: u64,
+    /// Background maintenance steps (applied merges and trivial moves)
+    /// completed during the mission (summed over shards; 0 for an
+    /// inline-compaction store).
+    pub bg_compactions: u64,
+    /// Bytes sitting in levels that score at or above the compaction
+    /// threshold at mission end — a gauge of outstanding structural
+    /// debt, summed over shards, not a per-mission delta.
+    pub pending_compaction_bytes: u64,
     /// Real wall-clock time spent processing the mission (ns) — used by the
     /// Fig. 13 model-cost comparison.
     pub real_process_ns: u64,
@@ -262,6 +274,13 @@ impl StatsCollector {
             cache_hits: d.cache_hits,
             cache_misses: d.cache_misses,
             cache_evictions: d.cache_evictions,
+            stall_ns: d.stall_ns,
+            bg_compactions: d.bg_compactions,
+            // A gauge, not a counter: report the end-of-mission reading.
+            pending_compaction_bytes: end_snapshots
+                .iter()
+                .map(|s| s.pending_compaction_bytes)
+                .sum(),
             commit_ns: 0,
             commit_busy_ns: 0,
             levels,
@@ -346,6 +365,27 @@ mod tests {
         assert!((r.wal_batch_size() - 25.0).abs() < 1e-12);
         // No syncs: batch size is defined as 0, not a division by zero.
         assert_eq!(MissionReport::default().wal_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn maintenance_counters_flow_through_mission_reports() {
+        let mut c = StatsCollector::new();
+        let mut before = snap(0, 10, 100, 0);
+        before.stall_ns = 40;
+        before.bg_compactions = 3;
+        before.pending_compaction_bytes = 9999;
+        c.baseline(before);
+        let mut after = snap(0, 35, 400, 0);
+        after.stall_ns = 100;
+        after.bg_compactions = 7;
+        after.pending_compaction_bytes = 4096;
+        let r = c.report_mission(after, 1);
+        assert_eq!(r.stall_ns, 60);
+        assert_eq!(r.bg_compactions, 4);
+        assert_eq!(
+            r.pending_compaction_bytes, 4096,
+            "a gauge reports the end-of-mission reading, not a delta"
+        );
     }
 
     #[test]

@@ -111,6 +111,16 @@ pub struct LsmConfig {
     pub bloom: BloomScheme,
     /// How policy changes are applied (FLSM flexible transition by default).
     pub transition: TransitionStrategy,
+    /// When `true`, structural work is deferred off the write path: a full
+    /// level no longer cascades inline, and flushes are postponed until an
+    /// explicit [`crate::FlsmTree::step_maintenance`] call (with a 2×
+    /// memtable backstop). Defaults to `false`, which preserves the
+    /// classic inline-cascade behavior.
+    pub background_maintenance: bool,
+    /// Backpressure threshold for background mode: a `put`/`delete` stalls
+    /// (runs maintenance steps inline) while Level 1's run count exceeds
+    /// this. Values below 1 are treated as 1. Ignored in inline mode.
+    pub l0_stall_runs: u64,
 }
 
 impl LsmConfig {
@@ -122,6 +132,8 @@ impl LsmConfig {
             initial_policy: 1,
             bloom: BloomScheme::Uniform { bits_per_key: 8.0 },
             transition: TransitionStrategy::Flexible,
+            background_maintenance: false,
+            l0_stall_runs: 8,
         }
     }
 
@@ -133,6 +145,8 @@ impl LsmConfig {
             initial_policy: 1,
             bloom: BloomScheme::Uniform { bits_per_key: 8.0 },
             transition: TransitionStrategy::Flexible,
+            background_maintenance: false,
+            l0_stall_runs: 8,
         }
     }
 

@@ -9,6 +9,8 @@
 //! governs the capacity of the *current and future* active runs:
 //! `active_capacity = C / K`.
 
+use std::sync::Arc;
+
 use crate::run::Run;
 use crate::types::Key;
 
@@ -23,10 +25,12 @@ pub struct Level {
     pub policy: u32,
     /// Policy recorded but not yet applied (lazy transition, §4.1).
     pub pending_policy: Option<u32>,
-    /// Sealed runs, oldest first. Never modified by transitions.
-    pub sealed: Vec<Run>,
+    /// Sealed runs, oldest first. Never modified by transitions. Runs are
+    /// shared handles: snapshots and in-flight background merges may pin
+    /// the same run while it stays resident here.
+    pub sealed: Vec<Arc<Run>>,
     /// The run currently admitting merged batches from above, if any.
-    pub active: Option<Run>,
+    pub active: Option<Arc<Run>>,
     /// Aggregate `[min, max]` key range over every resident run, cached
     /// so a lookup can reject out-of-range keys in O(1) without touching
     /// a single run. `None` while the level is empty. Maintained by
@@ -58,14 +62,14 @@ impl Level {
 
     /// Total logical bytes stored in the level.
     pub fn data_bytes(&self) -> u64 {
-        self.sealed.iter().map(Run::data_bytes).sum::<u64>()
-            + self.active.as_ref().map_or(0, Run::data_bytes)
+        self.sealed.iter().map(|r| r.data_bytes()).sum::<u64>()
+            + self.active.as_ref().map_or(0, |r| r.data_bytes())
     }
 
     /// Total entries stored in the level.
     pub fn entry_count(&self) -> u64 {
-        self.sealed.iter().map(Run::entry_count).sum::<u64>()
-            + self.active.as_ref().map_or(0, Run::entry_count)
+        self.sealed.iter().map(|r| r.entry_count()).sum::<u64>()
+            + self.active.as_ref().map_or(0, |r| r.entry_count())
     }
 
     /// Number of runs currently in the level (sealed + active).
@@ -93,14 +97,14 @@ impl Level {
 
     /// Runs in probe order: active first (newest data), then sealed runs
     /// newest-to-oldest.
-    pub fn probe_order(&self) -> impl Iterator<Item = &Run> {
+    pub fn probe_order(&self) -> impl Iterator<Item = &Arc<Run>> {
         self.active.iter().chain(self.sealed.iter().rev())
     }
 
     /// Removes and returns all runs (active first sealed last — age does not
     /// matter for a full merge, sequence numbers resolve versions).
-    pub fn take_all_runs(&mut self) -> Vec<Run> {
-        let mut runs: Vec<Run> = self.active.take().into_iter().collect();
+    pub fn take_all_runs(&mut self) -> Vec<Arc<Run>> {
+        let mut runs: Vec<Arc<Run>> = self.active.take().into_iter().collect();
         runs.append(&mut self.sealed);
         self.bounds = None;
         runs
@@ -151,7 +155,7 @@ impl Level {
         self.policy = k;
         self.pending_policy = None;
         let cap = self.active_capacity();
-        if let Some(active) = &mut self.active {
+        if let Some(active) = &self.active {
             active.set_capacity_bytes(cap);
             if active.data_bytes() >= cap {
                 self.seal_active();

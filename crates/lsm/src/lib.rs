@@ -30,7 +30,13 @@
 //!   an append-only log with atomic checkpoint compaction, so
 //!   [`tree::FlsmTree::recover_persistent`] can rebuild the *full*
 //!   run/level structure from the manifest plus the data pages on a
-//!   persistent storage backend, replaying the WAL tail on top.
+//!   persistent storage backend, replaying the WAL tail on top;
+//! * **background maintenance**: runs are immutable shared handles
+//!   (`Arc<Run>`), so reads pin structure instead of borrowing it — a
+//!   cheap [`tree::TreeSnapshot`] stays valid across concurrent merges —
+//!   and with [`config::LsmConfig::background_maintenance`] enabled a
+//!   score-based [`picker`] moves flushes and compactions off the write
+//!   path into explicit [`tree::FlsmTree::step_maintenance`] steps.
 //!
 //! All I/O goes through the [`ruskey_storage::Storage`] abstraction so the
 //! engine runs identically on the simulated device and on real files.
@@ -47,6 +53,7 @@ pub mod level;
 pub mod manifest;
 pub mod memtable;
 pub mod monkey;
+pub mod picker;
 pub mod run;
 pub mod stats;
 pub mod transition;
@@ -56,8 +63,9 @@ pub mod wal;
 
 pub use config::{BloomScheme, ConfigError, LsmConfig};
 pub use manifest::{Manifest, ManifestCrashPoint, ManifestEdit, ManifestState, RunRecord};
+pub use picker::{CompactionPick, CompactionPicker, PickerConfig, SCORE_SCALE};
 pub use stats::{LevelStatsSnapshot, TreeStatsSnapshot};
 pub use transition::TransitionStrategy;
-pub use tree::FlsmTree;
+pub use tree::{FlsmTree, TreeSnapshot};
 pub use types::{Key, KvEntry, OpKind, SeqNo, Value};
 pub use wal::{CrashPoint, Wal};

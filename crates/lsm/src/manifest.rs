@@ -92,7 +92,9 @@ use crate::wal::crc32;
 pub const MANIFEST_MAGIC: u32 = 0x524B_4D46;
 
 /// Current manifest format version; recovery rejects anything else.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added the `MoveRun` edit (trivial moves by the background
+/// compaction picker).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Everything recovery needs to rebuild one sorted run from its data
 /// pages: the page extent, the integrity expectations (entry count, byte
@@ -176,6 +178,17 @@ pub enum ManifestEdit {
     SeqWatermark {
         /// The sequence counter at the flush.
         seq: SeqNo,
+    },
+    /// A sealed run was re-parented to a deeper level without rewriting
+    /// its pages (a trivial move by the background picker). The run joins
+    /// the target level's sealed list, newest position.
+    MoveRun {
+        /// Zero-based level the run leaves.
+        from_level: u32,
+        /// Zero-based level the run joins.
+        to_level: u32,
+        /// Id of the run being moved (must be sealed at `from_level`).
+        run_id: RunId,
     },
 }
 
@@ -354,6 +367,22 @@ impl ManifestState {
                 self.seq = *seq;
                 Ok(())
             }
+            ManifestEdit::MoveRun {
+                from_level,
+                to_level,
+                run_id,
+            } => {
+                if *to_level as usize >= Self::MAX_LEVELS {
+                    return Err(EditError::BadLevel);
+                }
+                let from = self.level_mut(*from_level)?;
+                let Some(i) = from.sealed.iter().position(|r| r.run_id == *run_id) else {
+                    return Err(EditError::UnknownRun);
+                };
+                let run = from.sealed.remove(i);
+                self.level_mut(*to_level)?.sealed.push(run);
+                Ok(())
+            }
         }
     }
 }
@@ -422,6 +451,16 @@ fn encode_edit(buf: &mut Vec<u8>, e: &ManifestEdit) {
         ManifestEdit::SeqWatermark { seq } => {
             buf.push(6);
             buf.extend_from_slice(&seq.to_le_bytes());
+        }
+        ManifestEdit::MoveRun {
+            from_level,
+            to_level,
+            run_id,
+        } => {
+            buf.push(7);
+            buf.extend_from_slice(&from_level.to_le_bytes());
+            buf.extend_from_slice(&to_level.to_le_bytes());
+            buf.extend_from_slice(&run_id.to_le_bytes());
         }
     }
 }
@@ -524,6 +563,11 @@ fn decode_edit(c: &mut Cursor) -> Option<ManifestEdit> {
             })
         }
         6 => Some(ManifestEdit::SeqWatermark { seq: c.u64()? }),
+        7 => Some(ManifestEdit::MoveRun {
+            from_level: c.u32()?,
+            to_level: c.u32()?,
+            run_id: c.u64()?,
+        }),
         _ => None,
     }
 }
@@ -1439,6 +1483,45 @@ mod tests {
     }
 
     #[test]
+    fn move_run_reparents_a_sealed_run() {
+        let mut s = ManifestState::default();
+        s.apply(&ManifestEdit::AddRun {
+            level: 0,
+            active: false,
+            run: run(3),
+        })
+        .unwrap();
+        // Moving the active run or an unknown id is rejected.
+        assert_eq!(
+            s.apply(&ManifestEdit::MoveRun {
+                from_level: 0,
+                to_level: 1,
+                run_id: 99
+            }),
+            Err(EditError::UnknownRun)
+        );
+        assert_eq!(
+            s.apply(&ManifestEdit::MoveRun {
+                from_level: 0,
+                to_level: 10_000,
+                run_id: 3
+            }),
+            Err(EditError::BadLevel)
+        );
+        s.apply(&ManifestEdit::MoveRun {
+            from_level: 0,
+            to_level: 1,
+            run_id: 3,
+        })
+        .unwrap();
+        assert!(s.levels[0].sealed.is_empty());
+        assert_eq!(s.levels[1].sealed.len(), 1);
+        assert_eq!(s.levels[1].sealed[0].run_id, 3);
+        // The move allocates no new run id.
+        assert_eq!(s.max_run_id, 3);
+    }
+
+    #[test]
     fn edits_survive_an_encode_decode_roundtrip() {
         let edits = vec![
             ManifestEdit::AddRun {
@@ -1470,6 +1553,11 @@ mod tests {
                 pending: None,
             },
             ManifestEdit::SeqWatermark { seq: 12345 },
+            ManifestEdit::MoveRun {
+                from_level: 0,
+                to_level: 1,
+                run_id: 42,
+            },
         ];
         let mut body = Vec::new();
         for e in &edits {

@@ -6,6 +6,7 @@
 //! assigned at creation from the level's policy at that moment — this is the
 //! mechanism that lets runs of different sizes coexist in one level (§4.2).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ruskey_storage::{Extent, Storage};
@@ -49,7 +50,10 @@ pub struct Run {
     fences: FencePointers,
     entry_count: u64,
     data_bytes: u64,
-    capacity_bytes: u64,
+    /// Atomic so a *shared* run handle (`Arc<Run>`) can be retargeted by a
+    /// flexible policy transition while snapshots hold the same run: the
+    /// capacity is the only mutable field of an otherwise immutable run.
+    capacity_bytes: AtomicU64,
     min_key: Key,
     max_key: Key,
     max_seq: SeqNo,
@@ -68,13 +72,15 @@ impl Run {
 
     /// The FLSM per-run capacity assigned at creation (bytes).
     pub fn capacity_bytes(&self) -> u64 {
-        self.capacity_bytes
+        self.capacity_bytes.load(Ordering::Relaxed)
     }
 
     /// Updates the capacity (only ever called on a level's *active* run when
-    /// a flexible transition changes the policy, §4.2).
-    pub fn set_capacity_bytes(&mut self, capacity: u64) {
-        self.capacity_bytes = capacity;
+    /// a flexible transition changes the policy, §4.2). Takes `&self`: runs
+    /// are shared handles, and the capacity is their one interior-mutable
+    /// field.
+    pub fn set_capacity_bytes(&self, capacity: u64) {
+        self.capacity_bytes.store(capacity, Ordering::Relaxed);
     }
 
     /// Number of entries in the run.
@@ -228,7 +234,7 @@ impl Run {
             fences: FencePointers::new(first_keys),
             entry_count: rec.entry_count,
             data_bytes: rec.data_bytes,
-            capacity_bytes: rec.capacity_bytes,
+            capacity_bytes: AtomicU64::new(rec.capacity_bytes),
             min_key: rec.min_key.clone(),
             max_key: rec.max_key.clone(),
             max_seq: rec.max_seq,
@@ -428,7 +434,7 @@ impl RunBuilder {
             fences: FencePointers::new(self.first_keys),
             entry_count: self.keys.len() as u64,
             data_bytes: self.data_bytes,
-            capacity_bytes,
+            capacity_bytes: AtomicU64::new(capacity_bytes),
             min_key: self.min_key.unwrap(),
             max_key: self.max_key.unwrap(),
             max_seq: self.max_seq,

@@ -173,6 +173,17 @@ pub struct TreeStatsSnapshot {
     pub cache_misses: u64,
     /// Lifetime block-cache evictions.
     pub cache_evictions: u64,
+    /// Virtual ns that `put`/`delete` calls spent blocked on structural
+    /// work: the inline flush/cascade in classic mode, or the flush
+    /// backstop plus L0 backpressure stalls in background mode. Measured
+    /// elapsed time on the tree's clock, never an extra charge.
+    pub stall_ns: u64,
+    /// Background maintenance steps that restructured the tree (deferred
+    /// merges applied and trivial moves committed).
+    pub bg_compactions: u64,
+    /// Bytes resident in levels whose compaction score is at or above the
+    /// picker threshold — a gauge of structural debt, not a counter.
+    pub pending_compaction_bytes: u64,
     /// Per-level snapshots, index 0 = the paper's Level 1.
     pub levels: Vec<LevelStatsSnapshot>,
 }
@@ -218,6 +229,11 @@ impl TreeStatsSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            stall_ns: self.stall_ns.saturating_sub(earlier.stall_ns),
+            bg_compactions: self.bg_compactions.saturating_sub(earlier.bg_compactions),
+            // A gauge: the delta window ends at `self`, so its end-state
+            // debt is the meaningful reading.
+            pending_compaction_bytes: self.pending_compaction_bytes,
             levels,
         }
     }
@@ -257,6 +273,10 @@ impl TreeStatsSnapshot {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
+            stall_ns: self.stall_ns + other.stall_ns,
+            bg_compactions: self.bg_compactions + other.bg_compactions,
+            pending_compaction_bytes: self.pending_compaction_bytes
+                + other.pending_compaction_bytes,
             levels,
         }
     }
@@ -412,6 +432,32 @@ mod tests {
         assert_eq!(d.wal_appends, 6);
         assert_eq!(d.wal_syncs, 1);
         assert_eq!(d.wal_synced, 4);
+    }
+
+    #[test]
+    fn maintenance_counters_delta_and_merge() {
+        let later = TreeStatsSnapshot {
+            stall_ns: 100,
+            bg_compactions: 7,
+            pending_compaction_bytes: 4_096,
+            ..Default::default()
+        };
+        let earlier = TreeStatsSnapshot {
+            stall_ns: 40,
+            bg_compactions: 3,
+            pending_compaction_bytes: 9_999,
+            ..Default::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.stall_ns, 60);
+        assert_eq!(d.bg_compactions, 4);
+        // Gauge semantics: the delta reports the window's end state, not a
+        // subtraction against the earlier reading.
+        assert_eq!(d.pending_compaction_bytes, 4_096);
+        let m = later.merge(&earlier);
+        assert_eq!(m.stall_ns, 140);
+        assert_eq!(m.bg_compactions, 10);
+        assert_eq!(m.pending_compaction_bytes, 14_095);
     }
 
     #[test]

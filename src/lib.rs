@@ -140,6 +140,57 @@
 //! through its own cache, sized by
 //! [`ruskey::sharded::PersistenceConfig`]'s `cache_pages` (0 disables
 //! caching entirely).
+//!
+//! # Background maintenance: structural work off the hot path
+//!
+//! With [`lsm::LsmConfig`]'s `background_maintenance` enabled, flushes
+//! and compactions leave the write path: `put`/`delete` only append to
+//! the WAL and the memtable, and the structural work runs as **bounded,
+//! explicit steps** ([`lsm::FlsmTree::step_maintenance`] /
+//! [`lsm::FlsmTree::maintain`]) that each shard worker interleaves at
+//! mission boundaries. The pieces compose as follows:
+//!
+//! * **Shared run handles** — every on-disk run is an immutable
+//!   `Arc<Run>`. [`lsm::FlsmTree::snapshot`] clones the current run-set
+//!   in O(levels) into a [`lsm::TreeSnapshot`], a read view that keeps
+//!   serving the pinned state (and scans pin their source runs the same
+//!   way) while merges replace the structure underneath.
+//! * **Score-based picker** — [`lsm::picker::CompactionPicker`] scores
+//!   every level (bytes over capacity, L0 additionally by run count,
+//!   scaled by [`lsm::picker::SCORE_SCALE`]) and picks the highest
+//!   scorer's sealed runs. A level holding a *single* sealed run that
+//!   overlaps nothing at the next level moves down as a zero-I/O
+//!   **trivial move** (a `MoveRun` manifest edit), bounded by the
+//!   grandparent-overlap limit so moves cannot pile up unmergeable debt.
+//! * **Two-step merges** — one maintenance step *builds* the
+//!   replacement batch from the picked runs (the inputs stay live for
+//!   readers throughout); a later step revalidates and *applies* it:
+//!   remove inputs, admit the merged run below, commit the manifest
+//!   batch. A crash between the steps loses nothing — the inputs are
+//!   still the manifest's truth.
+//! * **Deferred frees extend the two-log contract** — a superseded
+//!   run's extent and cache pages are freed only after (a) the manifest
+//!   commit that removed it is durable *and* (b) the last snapshot or
+//!   scan pinning it drops (`Arc` strong count). Until both hold, the
+//!   run sits in a retired list; [`storage::Storage::free`] then purges
+//!   its cache pages before the extent id can be reused, so neither a
+//!   concurrent reader nor recovery can ever observe a recycled page.
+//! * **Backpressure** — the write path stalls (running maintenance
+//!   steps inline) only when L0's run count exceeds
+//!   [`lsm::LsmConfig`]'s `l0_stall_runs`; the time spent is *measured*,
+//!   never charged, and reported as
+//!   [`ruskey::stats::MissionReport::stall_ns`], alongside
+//!   `bg_compactions` (steps applied) and `pending_compaction_bytes`
+//!   (structural debt still owed).
+//!
+//! The contract is pinned by `tests/background_maintenance.rs` (a
+//! proptest that the background store is bit-identical to a quiescent
+//! inline store at `N ∈ {1, 2, 4}`, including reads racing an in-flight
+//! merge, plus snapshot-pinning tests), the `manifest_crash_points_with_
+//! a_background_merge_in_flight` matrix in `tests/crash_recovery.rs`,
+//! and the `repro compaction --json` experiment, whose `compaction_ok`
+//! verdict CI greps: background p99 op latency must not exceed inline
+//! p99 on a write-heavy mix, with zero read divergence.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

@@ -828,6 +828,117 @@ fn manifest_crash_points_recover_the_longest_consistent_prefix() {
     }
 }
 
+/// Acceptance (ISSUE 7): the manifest crash matrix holds with a
+/// *background merge in flight*. The store runs with deferred
+/// maintenance, structural steps are taken one at a time until a merge
+/// is built but not yet applied, and the crash is armed so it fires on
+/// the next structural commit — the in-flight merge's apply edit (or
+/// the flush ahead of it). At every crash point, recovery must restore
+/// every acknowledged write: append-time crashes lose the edit batch as
+/// a unit (the merge's inputs stay live in the manifest and the
+/// untruncated WAL covers the rest), and the recovered store must keep
+/// flushing, merging, and restarting.
+#[test]
+fn manifest_crash_points_with_a_background_merge_in_flight() {
+    const KEYS: u64 = 400;
+    let bg_cfg = || {
+        let mut cfg = RusKeyConfig::scaled_default();
+        cfg.lsm.buffer_bytes = 2048;
+        cfg.lsm.size_ratio = 4;
+        cfg.lsm.background_maintenance = true;
+        cfg.lsm.l0_stall_runs = 64;
+        cfg
+    };
+    for point in [
+        ManifestCrashPoint::PreCommit,
+        ManifestCrashPoint::MidCommit,
+        ManifestCrashPoint::PostCommit,
+    ] {
+        let root = persist_root("bgmerge");
+        let p = persist_cfg(&root, 0);
+        let mut db = ShardedRusKey::try_with_tuner_persistent(
+            bg_cfg(),
+            1,
+            Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+            &p,
+        )
+        .expect("open persistent background store");
+
+        for i in 0..KEYS {
+            db.put(key(i), val(i));
+        }
+        db.group_commit();
+
+        // Step the deferred work until a merge is built and in flight.
+        let mut saw_pending = false;
+        for _ in 0..200 {
+            if db.shard(0).has_pending_compaction() {
+                saw_pending = true;
+                break;
+            }
+            if !db.shard_mut(0).step_maintenance() {
+                break;
+            }
+        }
+        assert!(
+            saw_pending,
+            "point={point:?}: the load must leave a merge in flight"
+        );
+
+        // The next structural commit dies at the chosen point.
+        db.shard_mut(0)
+            .manifest_mut()
+            .expect("persistent shard has a manifest")
+            .arm_crash(point, 0);
+        for _ in 0..200 {
+            if db.crashed() {
+                break;
+            }
+            db.shard_mut(0).step_maintenance();
+        }
+        if !db.crashed() {
+            db.shard_mut(0).flush();
+        }
+        assert!(db.crashed(), "point={point:?}: the armed crash never fired");
+        drop(db);
+
+        let mut rec = ShardedRusKey::recover_persistent(
+            bg_cfg(),
+            1,
+            Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+            &p,
+        )
+        .expect("recover persistent background store");
+        for i in 0..KEYS {
+            assert_eq!(
+                rec.get(&key(i)).as_deref(),
+                Some(val(i).as_slice()),
+                "point={point:?}: acknowledged key {i} lost with a merge in flight"
+            );
+        }
+        // The recovered store keeps operating: writes, deferred
+        // maintenance to quiescence, and another restart.
+        rec.put(key(9999), val(9999));
+        rec.group_commit();
+        while rec.shard_mut(0).step_maintenance() {}
+        assert_eq!(rec.get(&key(9999)).as_deref(), Some(val(9999).as_slice()));
+        drop(rec);
+        let mut rec2 = ShardedRusKey::recover_persistent(
+            bg_cfg(),
+            1,
+            Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+            &p,
+        )
+        .expect("second recovery");
+        assert_eq!(
+            rec2.get(&key(9999)).as_deref(),
+            Some(val(9999).as_slice()),
+            "point={point:?}: post-recovery write lost across restart"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
 /// A crash in the middle of a manifest *checkpoint* (the log-compaction
 /// rewrite) leaves the previous log authoritative: the torn temporary
 /// file is ignored and cleaned up, and nothing is lost — the batch that
