@@ -343,7 +343,7 @@ fn run_persistence(scale: &ExperimentScale, scale_label: &str, json_path: &Optio
     println!("== Persistence: manifest + on-disk run recovery over FileDisk ==");
     let rows = persistence(scale, &[1, 2, 4]);
     println!(
-        "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}",
+        "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}{:>10}{:>10}{:>9}{:>10}",
         "shards",
         "ops",
         "flushes",
@@ -351,11 +351,15 @@ fn run_persistence(scale: &ExperimentScale, scale_label: &str, json_path: &Optio
         "runs recovered",
         "replayed tail",
         "checked keys",
-        "ok"
+        "ok",
+        "ext sync",
+        "dir sync",
+        "orphans",
+        "power ok"
     );
     for r in &rows {
         println!(
-            "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}",
+            "{:<8}{:>12}{:>10}{:>16}{:>16}{:>15}{:>14}{:>8}{:>10}{:>10}{:>9}{:>10}",
             r.shards,
             r.ops_total,
             r.flushes,
@@ -363,7 +367,11 @@ fn run_persistence(scale: &ExperimentScale, scale_label: &str, json_path: &Optio
             r.runs_recovered,
             r.replayed_tail,
             r.checked_keys,
-            r.ok
+            r.ok,
+            r.extent_syncs,
+            r.dir_syncs,
+            r.orphans_collected,
+            r.power_ok
         );
     }
     let path = json_path

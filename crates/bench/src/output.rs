@@ -289,6 +289,10 @@ pub fn durability_json(scale_label: &str, rows: &[DurabilityRow]) -> String {
 /// top-level `persistence_ok` is the conjunction, which CI greps as a
 /// smoke check (a `FileDisk`-backed store at every shard count survives
 /// drop + recover get/scan-identical with its flushed runs intact).
+/// `power_failure_ok` is the conjunction of the per-row `power_ok`
+/// verdicts — the simulated power cut at the extent-fsync barrier was
+/// recovered to exactly the acknowledged state with the torn orphan
+/// swept — which CI greps alongside.
 pub fn persistence_json(scale_label: &str, rows: &[PersistenceRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"persistence\",\n");
@@ -297,12 +301,17 @@ pub fn persistence_json(scale_label: &str, rows: &[PersistenceRow]) -> String {
         "  \"persistence_ok\": {},\n",
         rows.iter().all(|r| r.ok)
     ));
+    out.push_str(&format!(
+        "  \"power_failure_ok\": {},\n",
+        rows.iter().all(|r| r.power_ok)
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"missions\": {}, \"ops_total\": {}, \"flushes\": {}, \
              \"manifest_edits\": {}, \"runs_recovered\": {}, \"replayed_tail\": {}, \
-             \"checked_keys\": {}, \"ok\": {}}}{}\n",
+             \"checked_keys\": {}, \"ok\": {}, \"extent_syncs\": {}, \"dir_syncs\": {}, \
+             \"orphans_collected\": {}, \"power_ok\": {}}}{}\n",
             r.shards,
             r.missions,
             r.ops_total,
@@ -312,6 +321,10 @@ pub fn persistence_json(scale_label: &str, rows: &[PersistenceRow]) -> String {
             r.replayed_tail,
             r.checked_keys,
             r.ok,
+            r.extent_syncs,
+            r.dir_syncs,
+            r.orphans_collected,
+            r.power_ok,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -479,7 +492,7 @@ mod tests {
 
     #[test]
     fn persistence_json_carries_the_verdict() {
-        let row = |shards: usize, ok: bool| PersistenceRow {
+        let row = |shards: usize, ok: bool, power_ok: bool| PersistenceRow {
             shards,
             missions: 4,
             ops_total: 400,
@@ -489,15 +502,27 @@ mod tests {
             replayed_tail: 12,
             checked_keys: 100,
             ok,
+            extent_syncs: 7,
+            dir_syncs: 6,
+            orphans_collected: 1,
+            power_ok,
         };
-        let json = persistence_json("tiny", &[row(1, true), row(2, true)]);
+        let json = persistence_json("tiny", &[row(1, true, true), row(2, true, true)]);
         assert!(json.contains("\"experiment\": \"persistence\""));
         assert!(json.contains("\"persistence_ok\": true"));
+        assert!(json.contains("\"power_failure_ok\": true"));
         assert_eq!(json.matches("\"runs_recovered\":").count(), 2);
         assert_eq!(json.matches("\"replayed_tail\":").count(), 2);
-        // One failing row flips the top-level verdict.
-        let bad = persistence_json("tiny", &[row(1, true), row(2, false)]);
+        assert_eq!(json.matches("\"extent_syncs\":").count(), 2);
+        assert_eq!(json.matches("\"orphans_collected\":").count(), 2);
+        // One failing row flips the matching top-level verdict — and only
+        // that one.
+        let bad = persistence_json("tiny", &[row(1, true, true), row(2, false, true)]);
         assert!(bad.contains("\"persistence_ok\": false"));
+        assert!(bad.contains("\"power_failure_ok\": true"));
+        let bad_power = persistence_json("tiny", &[row(1, true, false), row(2, true, true)]);
+        assert!(bad_power.contains("\"persistence_ok\": true"));
+        assert!(bad_power.contains("\"power_failure_ok\": false"));
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

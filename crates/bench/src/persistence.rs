@@ -13,6 +13,14 @@
 //! runs from data pages, and that the recovered store keeps serving
 //! missions; the per-row verdicts conjoin into a single `persistence_ok`
 //! flag CI greps from the JSON output.
+//!
+//! Each row then goes one failure mode deeper: a **simulated power cut**
+//! ([`PowerCutPoint::ExtentUnsynced`]) fires at shard 0's extent-fsync
+//! barrier mid-flush, tearing the un-synced extent file and halting the
+//! device. The subsequent recovery must restore exactly the acknowledged
+//! state, sweep the torn orphan extent, and keep serving — the per-row
+//! `power_ok` verdicts conjoin into the `power_failure_ok` flag CI greps
+//! alongside `persistence_ok`.
 
 use bytes::Bytes;
 
@@ -20,6 +28,7 @@ use ruskey::db::RusKeyConfig;
 use ruskey::runner::ExperimentScale;
 use ruskey::sharded::{PersistenceConfig, ShardedRusKey};
 use ruskey::tuner::NoOpTuner;
+use ruskey_storage::PowerCutPoint;
 use ruskey_workload::{bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation};
 
 /// One shard count's persistence measurement.
@@ -48,6 +57,17 @@ pub struct PersistenceRow {
     /// were identical, runs were actually rebuilt, and the recovered
     /// store served a post-restart mission.
     pub ok: bool,
+    /// Extent-file fsyncs issued by the run (power-failure contract,
+    /// step 1) — proof the durability barriers were exercised.
+    pub extent_syncs: u64,
+    /// Directory-handle fsyncs issued by the run (contract step 2).
+    pub dir_syncs: u64,
+    /// Orphaned extent files the post-power-cut recovery swept.
+    pub orphans_collected: u64,
+    /// The power-cut leg held: the cut fired and crashed the store, the
+    /// second recovery restored exactly the acknowledged state, swept the
+    /// torn orphan, and served a further mission.
+    pub power_ok: bool,
 }
 
 /// The store configuration of the experiment: the scaled defaults with a
@@ -130,6 +150,40 @@ pub fn persistence(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Persi
             // (as they always have), so the op count is a lower bound.
             let post = rec.run_mission(&g.take_ops(scale.mission_size));
             ok &= post.ops >= scale.mission_size as u64;
+
+            // Power-cut leg: overwrite a marked, acknowledged batch, then
+            // cut the power at shard 0's extent-fsync barrier mid-flush —
+            // the extent tears, the device halts, the manifest commit and
+            // WAL truncation never happen.
+            let marked = Bytes::from(vec![0xAB; scale.value_len.max(1)]);
+            for i in (0..scale.load_entries).step_by(stride as usize).take(64) {
+                rec.put(encode_key(i, scale.key_len), marked.clone());
+            }
+            rec.group_commit();
+            let expected_power_gets: Vec<Option<Bytes>> =
+                sample.iter().map(|k| rec.get(k)).collect();
+            rec.shard(0)
+                .storage()
+                .arm_power_cut(PowerCutPoint::ExtentUnsynced, 0);
+            rec.shard_mut(0).flush();
+            let cut_fired = rec.shard(0).power_failed();
+            let pre_cut = rec.stats();
+            drop(rec); // power loss
+
+            let mut rec2 =
+                ShardedRusKey::recover_persistent(store_cfg(), n, Box::new(NoOpTuner), &pcfg)
+                    .expect("recover after power cut");
+            let power_stats = rec2.stats();
+            let mut power_ok = cut_fired;
+            // The acknowledged state — marked batch included — survives
+            // the cut bit-for-bit, and the torn extent is swept.
+            for (k, want) in sample.iter().zip(&expected_power_gets) {
+                power_ok &= &rec2.get(k) == want;
+            }
+            power_ok &= power_stats.orphans_collected >= 1;
+            power_ok &= pre_cut.extent_syncs > 0 && pre_cut.dir_syncs > 0;
+            let post2 = rec2.run_mission(&g.take_ops(scale.mission_size));
+            power_ok &= post2.ops >= scale.mission_size as u64;
             let _ = std::fs::remove_dir_all(&root);
 
             PersistenceRow {
@@ -142,6 +196,10 @@ pub fn persistence(scale: &ExperimentScale, shard_counts: &[usize]) -> Vec<Persi
                 replayed_tail: stats.replayed_tail,
                 checked_keys: sample.len() as u64,
                 ok,
+                extent_syncs: pre_cut.extent_syncs,
+                dir_syncs: pre_cut.dir_syncs,
+                orphans_collected: power_stats.orphans_collected,
+                power_ok,
             }
         })
         .collect()
@@ -168,6 +226,10 @@ mod tests {
             assert!(r.runs_recovered > 0);
             assert!(r.manifest_edits > 0);
             assert!(r.checked_keys > 0);
+            assert!(r.power_ok, "power-cut leg failed at {} shards", r.shards);
+            assert!(r.extent_syncs > 0, "extent-fsync barrier never exercised");
+            assert!(r.dir_syncs > 0, "dir-fsync barrier never exercised");
+            assert!(r.orphans_collected >= 1, "the torn extent must be swept");
         }
     }
 }

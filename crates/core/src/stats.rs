@@ -90,6 +90,9 @@ pub struct MissionReport {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery (lifetime, summed over shards).
     pub replayed_tail: u64,
+    /// Extent files orphaned by a pre-commit power cut and removed by the
+    /// last recovery's orphan sweep (lifetime, summed over shards).
+    pub orphans_collected: u64,
     /// Block-cache hits during the mission (summed over shards; 0 when
     /// the serving path has no cache, e.g. the simulated backend).
     pub cache_hits: u64,
@@ -271,6 +274,7 @@ impl StatsCollector {
             manifest_edits: end_snapshots.iter().map(|s| s.manifest_edits).sum(),
             runs_recovered: end_snapshots.iter().map(|s| s.runs_recovered).sum(),
             replayed_tail: end_snapshots.iter().map(|s| s.replayed_tail).sum(),
+            orphans_collected: end_snapshots.iter().map(|s| s.orphans_collected).sum(),
             cache_hits: d.cache_hits,
             cache_misses: d.cache_misses,
             cache_evictions: d.cache_evictions,

@@ -52,9 +52,11 @@
 //! [`Manifest::checkpoint`] atomically rewrites it as `header + one batch
 //! re-encoding the current state` (runs emitted in ascending run-id
 //! order, which reconstructs every level's probe order exactly): the new
-//! image is written to a temporary file, fsynced, and renamed over the
-//! log. A crash anywhere during the checkpoint leaves the previous log
-//! intact. Commits auto-checkpoint once `checkpoint_every` edits have
+//! image is written to a temporary file, fsynced, renamed over the log,
+//! and the parent directory is fsynced — without that last barrier a
+//! power cut could roll the rename back and resurrect the old log. A
+//! crash anywhere during the checkpoint leaves the previous log intact.
+//! Commits auto-checkpoint once `checkpoint_every` edits have
 //! accumulated since the last compaction.
 //!
 //! ## Ordering contract (why recovery never references missing pages)
@@ -618,6 +620,10 @@ pub enum ManifestCrashPoint {
     /// In the middle of a checkpoint rewrite: the temporary file is torn
     /// and never renamed over the log.
     MidCheckpoint,
+    /// Power cut after the checkpoint's rename but before the parent
+    /// directory fsync: the rename was never made durable, so the old log
+    /// bytes reappear at the path after restart.
+    PreDirSync,
 }
 
 /// An armed crash: fires when `point` is visited for the `after + 1`-th
@@ -670,6 +676,9 @@ impl Manifest {
             .open(&path)?;
         file.write_all(&header_record())?;
         file.sync_data()?;
+        // The creation itself must survive power loss: fsync the
+        // directory entry, not just the file contents.
+        Self::sync_parent_dir(&path)?;
         let _ = std::fs::remove_file(Self::tmp_path(&path));
         Ok(Self {
             path,
@@ -710,9 +719,11 @@ impl Manifest {
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         if valid_bytes == 0 {
             // Missing or headerless file: start a clean, versioned log so
-            // future recoveries accept the appends.
+            // future recoveries accept the appends. Make the (possible)
+            // creation durable like `create` does.
             file.write_all(&header_record())?;
             file.sync_data()?;
+            Self::sync_parent_dir(&path)?;
         }
         Ok((
             Self {
@@ -826,6 +837,18 @@ impl Manifest {
         let mut p = path.as_os_str().to_owned();
         p.push(".tmp");
         PathBuf::from(p)
+    }
+
+    /// Fsyncs `path`'s parent directory: a file creation or rename is not
+    /// durable across power loss until the directory entry itself is.
+    fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+        let parent = path.parent().unwrap_or_else(|| Path::new("."));
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        File::open(dir)?.sync_all()
     }
 
     /// The folded structure as of the last durable commit.
@@ -973,12 +996,30 @@ impl Manifest {
             f.write_all(&image[..image.len() / 2])?;
             return Ok(());
         }
+        // A power cut can roll back an un-fsynced rename: the armed
+        // PreDirSync fault needs the old log bytes to restore.
+        let pre_rename = if matches!(self.crash, Some(a) if a.point == ManifestCrashPoint::PreDirSync)
+        {
+            Some(std::fs::read(&self.path)?)
+        } else {
+            None
+        };
         {
             let mut f = File::create(&tmp)?;
             f.write_all(&image)?;
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        if self.hit(ManifestCrashPoint::PreDirSync) {
+            // The rename happened but its directory entry was never
+            // fsynced: power loss makes the old bytes reappear.
+            std::fs::write(&self.path, pre_rename.expect("snapshot taken while armed"))?;
+            return Ok(());
+        }
+        // The rename is not durable until the directory entry is: a power
+        // cut here would resurrect the old (longer) log. Both states are
+        // consistent, but the barrier makes checkpointing monotone.
+        Self::sync_parent_dir(&self.path)?;
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.file.sync_data()?;
         // Note: the checkpoint's max_run_id is the max over *live* runs,
@@ -1000,6 +1041,14 @@ impl Manifest {
     /// operation is a no-op.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Kills the handle from outside: the tree calls this when the
+    /// storage device reports a power cut, so the manifest behaves
+    /// exactly like a process that died before committing.
+    pub fn mark_crashed(&mut self) {
+        self.crashed = true;
+        self.pending.clear();
     }
 
     fn hit(&mut self, point: ManifestCrashPoint) -> bool {

@@ -183,9 +183,10 @@ impl Run {
     /// record — a manifest that references pages which were never written
     /// cannot get here under the commit ordering contract (pages first,
     /// edit after), so a mismatch means externally corrupted page
-    /// *contents*. A missing or truncated extent file is outside this
-    /// contract and panics in the storage backend before the cross-check
-    /// runs (a fallible `Storage` read API is a ROADMAP follow-on).
+    /// *contents*. A missing, truncated, or torn extent file surfaces the
+    /// same way: the fallible [`Storage::try_read_page`] propagates the
+    /// backend's typed error wrapped with the run's identity, so recovery
+    /// reports *which* run failed instead of panicking mid-restart.
     pub fn recover(
         storage: &dyn Storage,
         rec: &crate::manifest::RunRecord,
@@ -200,7 +201,12 @@ impl Run {
         let mut max_seq: SeqNo = 0;
         let mut buf = Vec::with_capacity(storage.page_size());
         for page in 0..rec.pages {
-            storage.read_page(extent, page, &mut buf);
+            storage.try_read_page(extent, page, &mut buf).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("run {} (extent {}): {e}", rec.run_id, rec.extent_id),
+                )
+            })?;
             let entries = entry::decode_page(std::mem::take(&mut buf));
             if let Some(first) = entries.first() {
                 first_keys.push(first.key.clone());

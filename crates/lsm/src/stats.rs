@@ -166,6 +166,15 @@ pub struct TreeStatsSnapshot {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery.
     pub replayed_tail: u64,
+    /// Extent files orphaned by a pre-commit power cut and removed by the
+    /// last recovery's orphan sweep.
+    pub orphans_collected: u64,
+    /// Lifetime extent-file fsyncs issued (power-failure contract, step 1:
+    /// data pages durable before their manifest commit).
+    pub extent_syncs: u64,
+    /// Lifetime directory-handle fsyncs issued (power-failure contract,
+    /// step 2: extent creation durable before the manifest names it).
+    pub dir_syncs: u64,
     /// Lifetime block-cache hits on the tree's storage (0 without a
     /// cache in the serving path).
     pub cache_hits: u64,
@@ -226,6 +235,11 @@ impl TreeStatsSnapshot {
             manifest_edits: self.manifest_edits.saturating_sub(earlier.manifest_edits),
             runs_recovered: self.runs_recovered.saturating_sub(earlier.runs_recovered),
             replayed_tail: self.replayed_tail.saturating_sub(earlier.replayed_tail),
+            orphans_collected: self
+                .orphans_collected
+                .saturating_sub(earlier.orphans_collected),
+            extent_syncs: self.extent_syncs.saturating_sub(earlier.extent_syncs),
+            dir_syncs: self.dir_syncs.saturating_sub(earlier.dir_syncs),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
@@ -270,6 +284,9 @@ impl TreeStatsSnapshot {
             manifest_edits: self.manifest_edits + other.manifest_edits,
             runs_recovered: self.runs_recovered + other.runs_recovered,
             replayed_tail: self.replayed_tail + other.replayed_tail,
+            orphans_collected: self.orphans_collected + other.orphans_collected,
+            extent_syncs: self.extent_syncs + other.extent_syncs,
+            dir_syncs: self.dir_syncs + other.dir_syncs,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,

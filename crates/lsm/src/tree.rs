@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use ruskey_storage::Storage;
+use ruskey_storage::{Extent, Storage};
 
 use crate::compaction::{EntrySource, MergeIterator};
 use crate::config::LsmConfig;
@@ -174,6 +174,18 @@ pub struct FlsmTree {
     /// WAL records replayed on top of the recovered structure by the
     /// last recovery.
     replayed_tail: u64,
+    /// Extent files orphaned by a pre-commit power cut and garbage-
+    /// collected by the last recovery.
+    orphans_collected: u64,
+    /// True once a storage durability barrier ([`Storage::sync_extent`] /
+    /// [`Storage::sync_dir`]) failed: the device power-failed mid-mutation.
+    /// Both logs are killed at that instant, so the in-flight mutation can
+    /// never commit and `crashed()` reports the store as dead.
+    power_failed: bool,
+    /// Set when the in-flight mutation fsynced freshly created extents:
+    /// their directory entries still need the one `sync_dir` barrier
+    /// before the manifest batch referencing them may commit.
+    dir_sync_due: bool,
     /// Tree-wide aggregate `[min, max]` key range over every resident
     /// run (all levels), cached so a lookup outside it returns in O(1)
     /// with zero probes and zero I/O. `None` while no runs exist.
@@ -220,6 +232,9 @@ impl FlsmTree {
             bg_compactions: 0,
             runs_recovered: 0,
             replayed_tail: 0,
+            orphans_collected: 0,
+            power_failed: false,
+            dir_sync_due: false,
             bounds: None,
         })
     }
@@ -275,7 +290,10 @@ impl FlsmTree {
     /// 2. every recorded run is rebuilt from its data pages on `storage`
     ///    ([`Run::recover`] re-derives identical fence pointers and Bloom
     ///    filters, cross-checking the record's integrity expectations);
-    /// 3. the WAL tail — everything logged since the last flush — is
+    /// 3. extents orphaned by a pre-commit power cut — data files no
+    ///    recovered run references — are garbage-collected, and their
+    ///    ids re-enter allocation safely;
+    /// 4. the WAL tail — everything logged since the last flush — is
     ///    replayed into the memtable on top, order pinned by record seq.
     ///
     /// Both logs stay attached for subsequent operation. A WAL tail that
@@ -323,6 +341,19 @@ impl FlsmTree {
             level.refresh_bounds();
         }
         tree.refresh_tree_bounds();
+        // Garbage-collect extents orphaned by a power cut between their
+        // data-page writes and the manifest commit: anything on the
+        // device the recovered structure does not reference. Must run
+        // *before* the WAL replay — a replay-triggered flush allocates
+        // fresh extents the sweep must not touch — and it resets extent-
+        // id allocation so the collected ids are safely reusable.
+        let live: Vec<u64> = state
+            .levels
+            .iter()
+            .flat_map(|l| l.sealed.iter().chain(l.active.as_ref()))
+            .map(|r| r.extent_id)
+            .collect();
+        tree.orphans_collected = tree.storage.collect_orphans(&live)?.len() as u64;
         tree.replay_wal_tail(wal_path, sync_every)?;
         tree.manifest = Some(manifest);
         Ok(tree)
@@ -382,10 +413,17 @@ impl FlsmTree {
         self.manifest.as_ref().is_some_and(Manifest::is_crashed)
     }
 
-    /// True if either log simulated a process crash: the store is dead
+    /// True if either log simulated a process crash, or the storage
+    /// device reported a power failure mid-mutation: the store is dead
     /// and the harness should recover from the logs.
     pub fn crashed(&self) -> bool {
-        self.wal_crashed() || self.manifest_crashed()
+        self.power_failed || self.wal_crashed() || self.manifest_crashed()
+    }
+
+    /// True once a storage durability barrier failed (simulated power
+    /// cut, or a real fsync error on a file-backed device).
+    pub fn power_failed(&self) -> bool {
+        self.power_failed
     }
 
     /// Runs rebuilt from manifest + data pages by the last recovery.
@@ -396,6 +434,12 @@ impl FlsmTree {
     /// WAL records replayed on top by the last recovery.
     pub fn replayed_tail(&self) -> u64 {
         self.replayed_tail
+    }
+
+    /// Extent files orphaned by a pre-commit power cut and removed by
+    /// the last recovery's garbage-collection sweep.
+    pub fn orphans_collected(&self) -> u64 {
+        self.orphans_collected
     }
 
     /// Syncs the attached WAL — the per-shard leg of a group-commit
@@ -535,12 +579,15 @@ impl FlsmTree {
 
     /// Flushes the memtable into Level 1 (index 0) regardless of fill.
     ///
-    /// Ordering is the durability contract of the two-log design: the
-    /// flushed run's data pages are written first, then the manifest
-    /// commits the structural edits (run added, superseded runs removed,
-    /// sequence watermark) as one atomic batch, and only then is the WAL
-    /// truncated — so at every crash point either the manifest or the WAL
-    /// still covers the flushed records.
+    /// Ordering is the durability contract of the two-log design,
+    /// extended to power-failure semantics: the flushed run's data pages
+    /// are written *and fsynced* first (extent fsync, then one directory
+    /// fsync naming it), then the manifest commits the structural edits
+    /// (run added, superseded runs removed, sequence watermark) as one
+    /// atomic batch, and only then is the WAL truncated — so at every
+    /// crash or power-cut point either the manifest or the WAL still
+    /// covers the flushed records, and the manifest never references
+    /// pages the device could lose.
     pub fn flush(&mut self) {
         if self.memtable.is_empty() {
             return;
@@ -573,6 +620,35 @@ impl FlsmTree {
         }
     }
 
+    /// Declares the device power-failed: both logs are killed so the
+    /// in-flight mutation can never commit — exactly the state a real
+    /// power cut leaves. The WAL's durable on-disk prefix still covers
+    /// every acknowledged record, which is what recovery replays.
+    fn power_fail(&mut self) {
+        self.power_failed = true;
+        if let Some(w) = &mut self.wal {
+            w.mark_crashed();
+        }
+        if let Some(m) = &mut self.manifest {
+            m.mark_crashed();
+        }
+    }
+
+    /// Step 1 of the power-failure contract: a freshly built run's data
+    /// pages are fsynced *before* any manifest edit referencing them can
+    /// commit, and the pending directory barrier is noted for commit
+    /// time. Volatile backends no-op at zero cost; a failed barrier
+    /// means the device power-failed and the mutation is abandoned.
+    fn sync_new_run(&mut self, ext: Extent) {
+        if self.power_failed {
+            return;
+        }
+        match self.storage.sync_extent(ext) {
+            Ok(_) => self.dir_sync_due = true,
+            Err(_) => self.power_fail(),
+        }
+    }
+
     /// Commits the mutation's buffered manifest batch, charges its cost
     /// to this tree's storage time domain, and — only once the batch is
     /// durable — frees the extents of the runs the mutation superseded.
@@ -580,6 +656,16 @@ impl FlsmTree {
     /// # Panics
     /// Panics if the manifest I/O fails (mirroring the WAL's policy).
     fn commit_manifest(&mut self) {
+        // Step 2 boundary of the power-failure contract: every extent
+        // this mutation created is already fsynced; one directory fsync
+        // now makes their *names* durable before the manifest batch
+        // referencing them commits. Volatile backends no-op.
+        if self.dir_sync_due && !self.power_failed {
+            match self.storage.sync_dir() {
+                Ok(_) => self.dir_sync_due = false,
+                Err(_) => self.power_fail(),
+            }
+        }
         let Some(m) = &mut self.manifest else {
             debug_assert!(self.pending_retire.is_empty());
             self.reclaim_retired();
@@ -789,6 +875,11 @@ impl FlsmTree {
         let new_run = builder
             .finish(self.storage.as_ref(), active_cap)
             .map(Arc::new);
+        if let Some(run) = &new_run {
+            // The run's pages must be durable before the AddRun edit
+            // below can commit (power-failure contract, step 1).
+            self.sync_new_run(run.extent());
+        }
         if let Some(old) = old_active {
             self.log_edit(ManifestEdit::RemoveRun {
                 level: idx as u32,
@@ -1245,6 +1336,9 @@ impl FlsmTree {
             manifest_edits: self.manifest.as_ref().map_or(0, Manifest::edits),
             runs_recovered: self.runs_recovered,
             replayed_tail: self.replayed_tail,
+            orphans_collected: self.orphans_collected,
+            extent_syncs: io.extent_syncs,
+            dir_syncs: io.dir_syncs,
             cache_hits: io.cache_hits,
             cache_misses: io.cache_misses,
             cache_evictions: io.cache_evictions,
@@ -1357,6 +1451,7 @@ impl FlsmTree {
                     builder.push(e);
                 }
                 if let Some(run) = builder.finish(self.storage.as_ref(), run_cap).map(Arc::new) {
+                    self.sync_new_run(run.extent());
                     let is_last = b == n_runs - 1;
                     let active = is_last && run.data_bytes() < run.capacity_bytes();
                     self.log_edit(ManifestEdit::AddRun {

@@ -157,7 +157,20 @@ impl Wal {
     /// `sync_every - 1` records.
     pub fn open_with_sync_every(path: impl AsRef<Path>, sync_every: u64) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let existed = path.exists();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if !existed {
+            // A freshly created log is not durable until its directory
+            // entry is: power loss before the dir fsync would lose the
+            // file — and with it every acknowledged record.
+            let parent = path.parent().unwrap_or_else(|| Path::new("."));
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            File::open(dir)?.sync_all()?;
+        }
         Ok(Self {
             path,
             file,
@@ -357,6 +370,15 @@ impl Wal {
     /// of the (simulated) process.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Kills the handle from outside: the tree calls this when the
+    /// storage device reports a power cut, so the WAL behaves exactly
+    /// like a process that died — the user-space buffer is lost, the
+    /// on-disk prefix stays authoritative for recovery.
+    pub fn mark_crashed(&mut self) {
+        self.crashed = true;
+        self.buf.clear();
     }
 
     /// Visits a crash point: decrements an armed countdown and, when it

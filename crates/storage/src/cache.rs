@@ -293,7 +293,7 @@ impl<S: Storage> Storage for BlockCache<S> {
         charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
+    fn try_read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> std::io::Result<IoCharge> {
         let cached = self.segment((ext.id, idx)).lock().get((ext.id, idx));
         if let Some(data) = cached {
             buf.clear();
@@ -302,21 +302,47 @@ impl<S: Storage> Storage for BlockCache<S> {
             let probe_ns = self.inner.cost_model().cpu_probe_ns;
             self.inner.charge_cpu(probe_ns);
             // A hit performs no device I/O: only the CPU probe is charged.
-            IoCharge {
+            Ok(IoCharge {
                 ns: probe_ns,
                 io: StorageMetrics {
                     cache_hits: 1,
                     ..StorageMetrics::default()
                 },
-            }
+            })
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let mut charge = self.inner.read_page(ext, idx, buf);
+            // A failed device read fills nothing: the error propagates
+            // typed, and the cache never holds a torn page.
+            let mut charge = self.inner.try_read_page(ext, idx, buf)?;
             charge.io.cache_misses = 1;
             charge.io.cache_evictions +=
                 self.insert((ext.id, idx), Arc::from(buf.clone().into_boxed_slice()));
-            charge
+            Ok(charge)
         }
+    }
+
+    fn sync_extent(&self, ext: Extent) -> std::io::Result<IoCharge> {
+        self.inner.sync_extent(ext)
+    }
+
+    fn sync_dir(&self) -> std::io::Result<IoCharge> {
+        self.inner.sync_dir()
+    }
+
+    fn collect_orphans(&self, live: &[u64]) -> std::io::Result<Vec<u64>> {
+        // Purge collected extents' pages: an orphan's id becomes reusable
+        // the moment its file is gone, and no stale page may outlive it.
+        let collected = self.inner.collect_orphans(live)?;
+        for id in &collected {
+            for seg in &self.segments {
+                seg.lock().remove_extent(*id);
+            }
+        }
+        Ok(collected)
+    }
+
+    fn arm_power_cut(&self, point: crate::PowerCutPoint, after: u64) {
+        self.inner.arm_power_cut(point, after);
     }
 
     fn free(&self, ext: Extent) {

@@ -40,10 +40,46 @@ pub struct IoCharge {
     pub io: StorageMetrics,
 }
 
+/// A simulated power-cut fault point on a durable backend.
+///
+/// Both points model the same physical event — power lost while data sat
+/// in the OS page cache — at the two boundaries the power-failure contract
+/// fsyncs: the extent file's pages and its directory entry. A fired point
+/// halts the device (subsequent mutations become no-ops) exactly like a
+/// [`crate::Wal`]-level crash kills its handle, so a test can drop the
+/// store and recover it. Volatile backends ignore arming entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerCutPoint {
+    /// Fires inside [`Storage::sync_extent`] *before* the fsync: the
+    /// extent's un-synced page writes are torn away (the file is
+    /// truncated) and the device halts — power was lost after `write(2)`
+    /// reached the page cache but before `fsync(2)` made it durable.
+    ExtentUnsynced,
+    /// Fires inside [`Storage::sync_dir`] *before* the directory fsync:
+    /// extent files created since the last directory sync lose their
+    /// directory entries (they are unlinked) and the device halts —
+    /// power was lost after `creat(2)` but before the parent-directory
+    /// fsync made the new entries durable.
+    DirUnsynced,
+}
+
 /// A page-granular storage device.
 ///
 /// Both the [`SimulatedDisk`] and the real-file [`crate::FileDisk`] implement
 /// this trait, so the LSM engine is oblivious to which backend it runs on.
+///
+/// # Fallible reads and power-failure durability
+///
+/// [`Storage::try_read_page`] is the primitive every backend implements:
+/// a missing extent file, a torn (short) page, or a corrupt slot header
+/// surfaces as an [`std::io::Error`] the caller can type-match — this is
+/// what lets recovery turn a power-failure artifact into a typed error
+/// instead of a panic. [`Storage::read_page`] is the serving-path wrapper
+/// that panics on those errors (after a successful recovery every
+/// recorded page is readable, so an error there is a logic bug).
+/// [`Storage::sync_extent`] and [`Storage::sync_dir`] are the durability
+/// barriers the LSM layer orders *before* its manifest commit; volatile
+/// backends treat them as free no-ops.
 pub trait Storage: Send + Sync {
     /// Size of one page in bytes (`B` in the paper, default 4096).
     fn page_size(&self) -> usize;
@@ -59,11 +95,58 @@ pub trait Storage: Send + Sync {
     fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge;
 
     /// Reads page `idx` of `ext` into `buf` (cleared first), returning the
+    /// exact [`IoCharge`] so wrappers can mirror the accounting — or an
+    /// error when the page cannot be served: a freed/unknown extent, an
+    /// extent file a power failure erased ([`std::io::ErrorKind::NotFound`]),
+    /// a torn page ([`std::io::ErrorKind::UnexpectedEof`]), or a corrupt
+    /// slot header ([`std::io::ErrorKind::InvalidData`]). Recovery reads
+    /// go through this method so those failures stay typed.
+    fn try_read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> std::io::Result<IoCharge>;
+
+    /// Reads page `idx` of `ext` into `buf` (cleared first), returning the
     /// exact [`IoCharge`] so wrappers can mirror the accounting.
     ///
     /// # Panics
-    /// Panics if the page does not exist.
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge;
+    /// Panics if the page cannot be served (see [`Storage::try_read_page`]
+    /// for the failure taxonomy) — the serving path treats that as a
+    /// logic bug, since recovery already proved every recorded page
+    /// readable.
+    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
+        self.try_read_page(ext, idx, buf)
+            .unwrap_or_else(|e| panic!("read page {}:{idx}: {e}", ext.id))
+    }
+
+    /// Durably flushes an extent's written pages (`fsync(2)` of the extent
+    /// file on a real-file backend; a free no-op on volatile backends).
+    /// Counts one [`StorageMetrics::extent_syncs`] when real work happens.
+    /// An error means the extent's data could not be made durable — on a
+    /// power-cut fault injection the un-synced writes are already gone.
+    fn sync_extent(&self, _ext: Extent) -> std::io::Result<IoCharge> {
+        Ok(IoCharge::default())
+    }
+
+    /// Durably flushes the backend's directory entries (fsync of the
+    /// directory handle on a real-file backend): what makes extent files
+    /// created since the last call survive power loss. Counts one
+    /// [`StorageMetrics::dir_syncs`] when real work happens.
+    fn sync_dir(&self) -> std::io::Result<IoCharge> {
+        Ok(IoCharge::default())
+    }
+
+    /// Removes extents present on the backend but absent from `live` —
+    /// the garbage a pre-commit power cut leaves behind (data written,
+    /// manifest never committed). Returns the collected ids. A no-op on
+    /// volatile backends (a fresh process inherits nothing). Recovery
+    /// calls this once, after folding the manifest and before anything
+    /// can allocate.
+    fn collect_orphans(&self, _live: &[u64]) -> std::io::Result<Vec<u64>> {
+        Ok(Vec::new())
+    }
+
+    /// Arms a simulated power cut that fires after `after` more visits to
+    /// the point's barrier (see [`PowerCutPoint`]). Ignored by volatile
+    /// backends.
+    fn arm_power_cut(&self, _point: PowerCutPoint, _after: u64) {}
 
     /// Releases an extent. Reading freed pages panics.
     fn free(&self, ext: Extent);
@@ -176,16 +259,22 @@ impl Storage for SimulatedDisk {
         charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
+    fn try_read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> std::io::Result<IoCharge> {
         buf.clear();
         {
             let extents = self.extents.read();
-            let slots = extents
-                .get(&ext.id)
-                .unwrap_or_else(|| panic!("read from freed/unknown extent {}", ext.id));
-            let page = slots[idx as usize]
-                .as_ref()
-                .unwrap_or_else(|| panic!("read of unwritten page {}:{idx}", ext.id));
+            let slots = extents.get(&ext.id).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("read from freed/unknown extent {}", ext.id),
+                )
+            })?;
+            let page = slots[idx as usize].as_ref().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("read of unwritten page {}:{idx}", ext.id),
+                )
+            })?;
             buf.extend_from_slice(page);
         }
         let charge = IoCharge {
@@ -199,7 +288,7 @@ impl Storage for SimulatedDisk {
         };
         self.metrics.add(&charge.io);
         self.clock.advance(charge.ns);
-        charge
+        Ok(charge)
     }
 
     fn free(&self, ext: Extent) {

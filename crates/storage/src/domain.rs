@@ -75,11 +75,33 @@ impl Storage for ShardStorage {
         charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
-        let charge = self.inner.read_page(ext, idx, buf);
+    fn try_read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> std::io::Result<IoCharge> {
+        let charge = self.inner.try_read_page(ext, idx, buf)?;
         self.metrics.add(&charge.io);
         self.clock.advance(charge.ns);
-        charge
+        Ok(charge)
+    }
+
+    fn sync_extent(&self, ext: Extent) -> std::io::Result<IoCharge> {
+        let charge = self.inner.sync_extent(ext)?;
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        Ok(charge)
+    }
+
+    fn sync_dir(&self) -> std::io::Result<IoCharge> {
+        let charge = self.inner.sync_dir()?;
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        Ok(charge)
+    }
+
+    fn collect_orphans(&self, live: &[u64]) -> std::io::Result<Vec<u64>> {
+        self.inner.collect_orphans(live)
+    }
+
+    fn arm_power_cut(&self, point: crate::PowerCutPoint, after: u64) {
+        self.inner.arm_power_cut(point, after);
     }
 
     fn free(&self, ext: Extent) {

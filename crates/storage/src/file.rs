@@ -31,20 +31,34 @@
 //! and page I/O on different extents are independent, and each shard owning
 //! its own `FileDisk` means shards never serialize against each other on
 //! the real-file path.
+//!
+//! **Power-failure semantics.** Writing pages only puts bytes in the OS
+//! page cache; the backend therefore exposes the two barriers a
+//! power-failure-grade commit protocol needs: [`Storage::sync_extent`]
+//! (`fsync(2)` of one extent file — the data) and [`Storage::sync_dir`]
+//! (fsync of the directory handle — the extent files' *names*). Reads are
+//! fallible at the [`Storage::try_read_page`] layer: an extent file a
+//! power cut erased surfaces as [`std::io::ErrorKind::NotFound`], a torn
+//! page as [`std::io::ErrorKind::UnexpectedEof`], and a corrupt slot
+//! header as [`std::io::ErrorKind::InvalidData`] — never a panic, so
+//! recovery decides. An extent id this incarnation never handed out and
+//! no previous incarnation could have written still panics: that is a
+//! logic bug, not a durability artifact. [`PowerCutPoint`] fault hooks
+//! tear either barrier on demand so tests can simulate the cut.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::clock::VirtualClock;
 use crate::cost::CostModel;
-use crate::disk::{Extent, IoCharge, Storage};
+use crate::disk::{Extent, IoCharge, PowerCutPoint, Storage};
 use crate::metrics::{AtomicMetrics, StorageMetrics};
 
 thread_local! {
@@ -72,6 +86,16 @@ pub struct FileDisk {
     handles: Mutex<HashMap<u64, Arc<File>>>,
     fds_opened: AtomicU64,
     buffer_grows: AtomicU64,
+    /// Open handle on the directory itself, for [`Storage::sync_dir`].
+    dir_handle: File,
+    /// Extent ids created since the last directory fsync — the files a
+    /// power cut at the [`PowerCutPoint::DirUnsynced`] barrier would
+    /// erase from the directory.
+    pending_dir: Mutex<Vec<u64>>,
+    /// Armed simulated power cut: the point plus a fire countdown.
+    power_cut: Mutex<Option<(PowerCutPoint, u64)>>,
+    /// Set once a power cut fired: the device is dead, mutations no-op.
+    halted: AtomicBool,
 }
 
 impl FileDisk {
@@ -101,6 +125,7 @@ impl FileDisk {
             max_id = max_id.max(id);
             live_pages += entry.metadata()?.len() / (page_size + SLOT_HEADER) as u64;
         }
+        let dir_handle = File::open(&dir)?;
         Ok(Arc::new(Self {
             dir,
             page_size,
@@ -112,6 +137,10 @@ impl FileDisk {
             handles: Mutex::new(HashMap::new()),
             fds_opened: AtomicU64::new(0),
             buffer_grows: AtomicU64::new(0),
+            dir_handle,
+            pending_dir: Mutex::new(Vec::new()),
+            power_cut: Mutex::new(None),
+            halted: AtomicBool::new(false),
         }))
     }
 
@@ -126,21 +155,64 @@ impl FileDisk {
 
     /// The cached handle for an extent, opening (and caching) it on first
     /// access — e.g. for extents inherited from a previous incarnation.
-    fn handle(&self, id: u64) -> Arc<File> {
+    ///
+    /// A missing file surfaces as a typed [`std::io::ErrorKind::NotFound`]
+    /// error for recovery to decide, never a panic: after a power cut the
+    /// file-derived allocation watermark cannot distinguish an id that was
+    /// never allocated from one whose un-fsynced directory entry the cut
+    /// erased — both present as "no such file", and only the caller (who
+    /// holds the manifest) knows which ids it acknowledged.
+    fn try_handle(&self, id: u64) -> std::io::Result<Arc<File>> {
         let mut handles = self.handles.lock();
         if let Some(f) = handles.get(&id) {
-            return Arc::clone(f);
+            return Ok(Arc::clone(f));
         }
         let f = Arc::new(
             OpenOptions::new()
                 .read(true)
                 .write(true)
                 .open(self.path(id))
-                .unwrap_or_else(|e| panic!("open extent {id}: {e}")),
+                .map_err(|e| {
+                    std::io::Error::new(e.kind(), format!("extent file {id} missing: {e}"))
+                })?,
         );
         self.fds_opened.fetch_add(1, Ordering::Relaxed);
         handles.insert(id, Arc::clone(&f));
-        f
+        Ok(f)
+    }
+
+    /// [`FileDisk::try_handle`] for the write path, where a missing file
+    /// is just as much a logic bug as an unknown id (writes only target
+    /// extents the caller just allocated and still owns).
+    fn handle(&self, id: u64) -> Arc<File> {
+        self.try_handle(id)
+            .unwrap_or_else(|e| panic!("open extent {id}: {e}"))
+    }
+
+    /// True once a simulated power cut fired: the device is dead.
+    fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::Relaxed)
+    }
+
+    /// Decrements the armed countdown at a barrier; true = fire now.
+    fn power_cut_fires(&self, at: PowerCutPoint) -> bool {
+        let mut armed = self.power_cut.lock();
+        match *armed {
+            Some((point, 0)) if point == at => {
+                *armed = None;
+                true
+            }
+            Some((point, ref mut n)) if point == at => {
+                *n -= 1;
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// The halted-device error every post-cut barrier call returns.
+    fn halted_err() -> std::io::Error {
+        std::io::Error::other("simulated power cut: device halted")
     }
 
     /// Lifetime count of `open(2)` calls issued — one per extent per
@@ -178,6 +250,11 @@ impl Storage for FileDisk {
 
     fn allocate(&self, pages: u32) -> Extent {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if self.is_halted() {
+            // Power is gone: hand out the id so the (doomed) caller can
+            // finish its motions, but touch nothing on disk.
+            return Extent { id, pages };
+        }
         let f = OpenOptions::new()
             .read(true)
             .write(true)
@@ -190,12 +267,17 @@ impl Storage for FileDisk {
         self.fds_opened.fetch_add(1, Ordering::Relaxed);
         self.handles.lock().insert(id, Arc::new(f));
         self.live_pages.fetch_add(pages as u64, Ordering::Relaxed);
+        // The new directory entry is not durable until the next sync_dir.
+        self.pending_dir.lock().push(id);
         Extent { id, pages }
     }
 
     fn write_page(&self, ext: Extent, idx: u32, data: &[u8]) -> IoCharge {
         assert!(data.len() <= self.page_size, "page overflow");
         assert!(idx < ext.pages, "page index out of bounds");
+        if self.is_halted() {
+            return IoCharge::default();
+        }
         let f = self.handle(ext.id);
         // Slots are fixed-size on disk: pad with zeros, prefix with length.
         self.with_page_buf(|page| {
@@ -218,17 +300,32 @@ impl Storage for FileDisk {
         charge
     }
 
-    fn read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> IoCharge {
-        let f = self.handle(ext.id);
+    fn try_read_page(&self, ext: Extent, idx: u32, buf: &mut Vec<u8>) -> std::io::Result<IoCharge> {
+        let f = self.try_handle(ext.id)?;
         let len = self.with_page_buf(|page| {
+            // A short read = the file ends before this page: a torn
+            // extent (power cut between write and fsync), typed as
+            // UnexpectedEof by read_exact_at.
             f.read_exact_at(page, idx as u64 * self.slot() as u64)
-                .expect("read page");
+                .map_err(|e| {
+                    std::io::Error::new(e.kind(), format!("read page {}:{idx}: {e}", ext.id))
+                })?;
             let len = u32::from_le_bytes(page[..SLOT_HEADER].try_into().unwrap()) as usize;
-            assert!(len <= self.page_size, "corrupt page header");
+            // A slot length prefix beyond the page payload would slice out
+            // of bounds below: surface the corruption, never panic.
+            if len > self.page_size {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "corrupt page header {}:{idx}: slot length {len} > page size {}",
+                        ext.id, self.page_size
+                    ),
+                ));
+            }
             buf.clear();
             buf.extend_from_slice(&page[SLOT_HEADER..SLOT_HEADER + len]);
-            len
-        });
+            Ok(len)
+        })?;
         let charge = IoCharge {
             ns: self.cost.read_page_ns,
             io: StorageMetrics {
@@ -240,10 +337,117 @@ impl Storage for FileDisk {
         };
         self.metrics.add(&charge.io);
         self.clock.advance(charge.ns);
-        charge
+        Ok(charge)
+    }
+
+    fn sync_extent(&self, ext: Extent) -> std::io::Result<IoCharge> {
+        if self.is_halted() {
+            return Err(Self::halted_err());
+        }
+        if self.power_cut_fires(PowerCutPoint::ExtentUnsynced) {
+            // Power died with this extent's writes still in the page
+            // cache: tear the file (a torn tail, not clean truncation to
+            // zero, is what real filesystems leave) and halt the device.
+            if let Ok(f) = self.try_handle(ext.id) {
+                let torn = (ext.pages as u64 / 2) * self.slot() as u64 + SLOT_HEADER as u64 / 2;
+                let _ = f.set_len(torn);
+            }
+            self.halted.store(true, Ordering::Relaxed);
+            return Err(std::io::Error::other(
+                "simulated power cut: extent writes lost before fsync",
+            ));
+        }
+        self.try_handle(ext.id)?.sync_data()?;
+        let charge = IoCharge {
+            ns: self.cost.wal_sync_ns,
+            io: StorageMetrics {
+                extent_syncs: 1,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        Ok(charge)
+    }
+
+    fn sync_dir(&self) -> std::io::Result<IoCharge> {
+        if self.is_halted() {
+            return Err(Self::halted_err());
+        }
+        if self.power_cut_fires(PowerCutPoint::DirUnsynced) {
+            // Power died before the directory entries became durable: the
+            // files created since the last sync_dir vanish wholesale.
+            let pending: Vec<u64> = std::mem::take(&mut *self.pending_dir.lock());
+            for id in pending {
+                self.handles.lock().remove(&id);
+                if let Ok(meta) = std::fs::metadata(self.path(id)) {
+                    if std::fs::remove_file(self.path(id)).is_ok() {
+                        self.live_pages
+                            .fetch_sub(meta.len() / self.slot() as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+            self.halted.store(true, Ordering::Relaxed);
+            return Err(std::io::Error::other(
+                "simulated power cut: directory entries lost before fsync",
+            ));
+        }
+        self.dir_handle.sync_all()?;
+        self.pending_dir.lock().clear();
+        let charge = IoCharge {
+            ns: self.cost.wal_sync_ns,
+            io: StorageMetrics {
+                dir_syncs: 1,
+                ..StorageMetrics::default()
+            },
+        };
+        self.metrics.add(&charge.io);
+        self.clock.advance(charge.ns);
+        Ok(charge)
+    }
+
+    fn collect_orphans(&self, live: &[u64]) -> std::io::Result<Vec<u64>> {
+        let mut collected = Vec::new();
+        let mut max_retained = 0u64;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_string_lossy()
+                .strip_prefix("extent-")
+                .and_then(|s| s.strip_suffix(".run"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if live.contains(&id) {
+                max_retained = max_retained.max(id);
+                continue;
+            }
+            let pages = entry.metadata()?.len() / self.slot() as u64;
+            self.handles.lock().remove(&id);
+            std::fs::remove_file(entry.path())?;
+            self.live_pages.fetch_sub(pages, Ordering::Relaxed);
+            collected.push(id);
+        }
+        if !collected.is_empty() {
+            // Make the unlinks durable, then let allocation reuse the
+            // collected ids: with the stale files gone, reuse is safe.
+            self.dir_handle.sync_all()?;
+            self.next_id.store(max_retained + 1, Ordering::Relaxed);
+            collected.sort_unstable();
+        }
+        Ok(collected)
+    }
+
+    fn arm_power_cut(&self, point: PowerCutPoint, after: u64) {
+        *self.power_cut.lock() = Some((point, after));
     }
 
     fn free(&self, ext: Extent) {
+        if self.is_halted() {
+            return;
+        }
         // Drop the cached handle first so the fd goes with the file.
         self.handles.lock().remove(&ext.id);
         if std::fs::remove_file(self.path(ext.id)).is_ok() {

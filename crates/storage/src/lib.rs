@@ -28,6 +28,23 @@
 //!   trait, for running the engine against an actual filesystem: cached
 //!   fds (one `open` per extent, not per read), positional `pread`/
 //!   `pwrite` I/O, and a thread-local reusable page buffer.
+//!
+//! # Fallible reads and power-failure durability
+//!
+//! Real devices fail in ways a simulation never does: an extent file can be
+//! missing after a crash, a page can be torn mid-write, a slot header can be
+//! corrupt. [`Storage::try_read_page`] is therefore the *required* read
+//! primitive — it surfaces those states as typed [`std::io::Error`]s so
+//! recovery can decide, while the provided [`Storage::read_page`] keeps the
+//! infallible panic-on-corruption contract for steady-state paths that have
+//! already validated their extents. Durability barriers follow the same
+//! split: [`Storage::sync_extent`] (fsync a run's data before its manifest
+//! commit) and [`Storage::sync_dir`] (fsync the directory so extent creation
+//! and renames survive power loss) are real `fsync`s on [`FileDisk`] and
+//! free no-ops on volatile backends. [`Storage::collect_orphans`] removes
+//! extent files a pre-commit power cut left behind, and
+//! [`Storage::arm_power_cut`] arms a simulated cut ([`PowerCutPoint`]) for
+//! the torn-power crash matrix.
 
 #![warn(missing_docs)]
 
@@ -42,7 +59,7 @@ pub mod metrics;
 pub use cache::BlockCache;
 pub use clock::{DomainId, Timestamp, VirtualClock};
 pub use cost::CostModel;
-pub use disk::{Extent, IoCharge, SimulatedDisk, Storage};
+pub use disk::{Extent, IoCharge, PowerCutPoint, SimulatedDisk, Storage};
 pub use domain::ShardStorage;
 pub use file::FileDisk;
 pub use metrics::StorageMetrics;

@@ -14,6 +14,8 @@ pub(crate) struct AtomicMetrics {
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub cache_evictions: AtomicU64,
+    pub extent_syncs: AtomicU64,
+    pub dir_syncs: AtomicU64,
 }
 
 impl AtomicMetrics {
@@ -34,6 +36,9 @@ impl AtomicMetrics {
             .fetch_add(d.cache_misses, Ordering::Relaxed);
         self.cache_evictions
             .fetch_add(d.cache_evictions, Ordering::Relaxed);
+        self.extent_syncs
+            .fetch_add(d.extent_syncs, Ordering::Relaxed);
+        self.dir_syncs.fetch_add(d.dir_syncs, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StorageMetrics {
@@ -47,6 +52,8 @@ impl AtomicMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            extent_syncs: self.extent_syncs.load(Ordering::Relaxed),
+            dir_syncs: self.dir_syncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -76,6 +83,12 @@ pub struct StorageMetrics {
     pub cache_misses: u64,
     /// Pages evicted from the block cache to make room.
     pub cache_evictions: u64,
+    /// Extent-file fsyncs issued ([`crate::Storage::sync_extent`]): the
+    /// power-failure contract's per-run data-durability cost.
+    pub extent_syncs: u64,
+    /// Directory-handle fsyncs issued ([`crate::Storage::sync_dir`]):
+    /// what makes extent creation (and renames) survive power loss.
+    pub dir_syncs: u64,
 }
 
 impl StorageMetrics {
@@ -91,6 +104,8 @@ impl StorageMetrics {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            extent_syncs: self.extent_syncs.saturating_sub(earlier.extent_syncs),
+            dir_syncs: self.dir_syncs.saturating_sub(earlier.dir_syncs),
         }
     }
 
@@ -121,6 +136,8 @@ mod tests {
             cache_hits: 9,
             cache_misses: 6,
             cache_evictions: 3,
+            extent_syncs: 8,
+            dir_syncs: 5,
         };
         let b = StorageMetrics {
             pages_read: 3,
@@ -132,6 +149,8 @@ mod tests {
             cache_hits: 4,
             cache_misses: 2,
             cache_evictions: 1,
+            extent_syncs: 3,
+            dir_syncs: 2,
         };
         let d = a.delta(&b);
         assert_eq!(d.pages_read, 7);
@@ -143,6 +162,8 @@ mod tests {
         assert_eq!(d.cache_hits, 5);
         assert_eq!(d.cache_misses, 4);
         assert_eq!(d.cache_evictions, 2);
+        assert_eq!(d.extent_syncs, 5);
+        assert_eq!(d.dir_syncs, 3);
     }
 
     #[test]

@@ -55,12 +55,34 @@
 //!   extent and fence/Bloom metadata, a run deleted by compaction, a
 //!   policy transition, the flush sequence watermark — is committed as
 //!   one atomic, CRC-framed batch per mutation, with the log itself
-//!   compacted by atomic checkpoints. Ordering makes the two logs
-//!   compose: a flush writes its data pages, then commits the manifest
-//!   batch, then truncates the WAL (obsolete pages are freed only after
-//!   the commit), so at every crash point either the manifest or the WAL
-//!   still covers each acknowledged write, and the manifest never
-//!   references pages that were not written.
+//!   compacted by atomic checkpoints.
+//!
+//! Ordering makes the two logs compose, and on a real filesystem the
+//! ordering is enforced **to power-failure grade** by a three-step
+//! contract per structural mutation:
+//!
+//! 1. **data durable** — the pages of every run the mutation created are
+//!    written and the extent file is `fsync`ed
+//!    ([`storage::Storage::sync_extent`]);
+//! 2. **names durable** — one directory-handle `fsync`
+//!    ([`storage::Storage::sync_dir`]) makes the extent files' directory
+//!    entries (and the manifest checkpoint's `rename`) survive power
+//!    loss;
+//! 3. **structure durable** — only then does the manifest batch commit,
+//!    and only after *that* does the WAL truncate (obsolete pages are
+//!    freed only after the commit).
+//!
+//! A power cut between any two steps loses nothing acknowledged: the
+//! commit is aborted, the WAL keeps its records, and recovery rolls the
+//! structure back to the previous commit while the log replays the rest.
+//! The extent files a pre-commit cut strands on disk are swept by
+//! recovery ([`storage::Storage::collect_orphans`], counted as
+//! [`lsm::TreeStatsSnapshot::orphans_collected`]), and recovery reads go
+//! through the fallible [`storage::Storage::try_read_page`] — a missing,
+//! torn, or corrupt extent surfaces as a typed error naming the run, not
+//! a panic. So at every crash point either the manifest or the WAL still
+//! covers each acknowledged write, and the manifest never references
+//! pages that were not durably written.
 //!
 //! On a **persistent backend**
 //! ([`ruskey::sharded::ShardedRusKey::try_with_tuner_persistent`] gives
@@ -88,14 +110,18 @@
 //! [`lsm::TreeStatsSnapshot`] into [`ruskey::stats::MissionReport`] and
 //! the `repro durability` / `repro persistence` JSON.
 //!
-//! The contract is pinned three ways: `tests/crash_recovery.rs` runs a
+//! The contract is pinned four ways: `tests/crash_recovery.rs` runs a
 //! [`lsm::CrashPoint`] fault-injection matrix over the WAL write path
-//! (`N ∈ {1, 2, 4}`) plus a [`lsm::ManifestCrashPoint`] matrix over the
-//! manifest (crash before/inside/after a commit, and mid-checkpoint);
+//! (`N ∈ {1, 2, 4}`), a [`lsm::ManifestCrashPoint`] matrix over the
+//! manifest (crash before/inside/after a commit, mid-checkpoint, and the
+//! un-fsynced checkpoint rename), and a [`storage::PowerCutPoint`]
+//! torn-power matrix over the fsync barriers themselves (torn extent
+//! file, unlinked directory entry — recovery must restore exactly the
+//! acknowledged prefix and sweep the orphans);
 //! `tests/persistence_restart.rs` asserts restart equivalence at
 //! `N ∈ {1, 2, 4}` with a random-schedule proptest and a manifest replay
-//! fuzz test; and `repro persistence --json` reports a `persistence_ok`
-//! verdict CI greps.
+//! fuzz test; and `repro persistence --json` reports `persistence_ok`
+//! and `power_failure_ok` verdicts CI greps.
 //!
 //! # The read path: serving-grade raw speed
 //!

@@ -32,6 +32,16 @@
 //! consistent prefix, never references missing pages, and loses nothing
 //! (whatever the manifest batch misses, the untruncated WAL still
 //! covers).
+//!
+//! Suite 5 drops below even the manifest: **torn power cuts** on the
+//! storage barriers themselves ([`PowerCutPoint`]). A cut before the
+//! extent fsync leaves a torn data file; a cut before the directory
+//! fsync unlinks the extent's name wholesale; a checkpoint's un-fsynced
+//! rename rolls back to the old manifest bytes. In every case recovery
+//! must yield exactly the acknowledged prefix, sweep the orphaned extent
+//! files a pre-commit cut left behind (safe id reuse included), and
+//! surface a *missing* referenced extent as a typed error — never a
+//! panic.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,7 +53,7 @@ use proptest::prelude::*;
 use ruskey_repro::lsm::{CrashPoint, KvEntry, ManifestCrashPoint, Wal};
 use ruskey_repro::ruskey::db::RusKeyConfig;
 use ruskey_repro::ruskey::sharded::{DurabilityConfig, PersistenceConfig, ShardedRusKey};
-use ruskey_repro::storage::{CostModel, SimulatedDisk, Storage};
+use ruskey_repro::storage::{CostModel, PowerCutPoint, SimulatedDisk, Storage};
 use ruskey_repro::workload::routing::shard_for_key;
 use ruskey_repro::workload::{
     bulk_load_pairs, encode_key, OpGenerator, OpMix, Operation, WorkloadSpec,
@@ -1027,5 +1037,261 @@ fn externally_torn_manifest_tail_recovers_the_previous_flush() {
             "WAL-tail key {i} lost"
         );
     }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ----------------------------------------------------------------------
+// 5. Torn power cuts (storage fsync barriers)
+// ----------------------------------------------------------------------
+
+/// Acceptance (ISSUE 8 tentpole): the torn-power matrix. A power cut at
+/// either storage barrier — before the extent fsync (torn data file) or
+/// before the directory fsync (the extent's name vanishes wholesale) —
+/// aborts the flush's manifest commit and keeps the WAL, so recovery
+/// yields exactly the acknowledged prefix at `N ∈ {1, 2}`. The extent a
+/// pre-commit cut orphaned is swept by recovery, and the recovered store
+/// keeps serving, flushing, and restarting.
+#[test]
+fn torn_power_matrix_recovers_exactly_the_acknowledged_prefix() {
+    const PHASE1: u64 = 40;
+    const PHASE2: u64 = 40;
+    for shards in [1usize, 2] {
+        for point in [PowerCutPoint::ExtentUnsynced, PowerCutPoint::DirUnsynced] {
+            let root = persist_root("power");
+            let p = persist_cfg(&root, 0);
+            let mut db = persistent_store(shards, &p);
+
+            // Phase 1: flushed on every shard — runs durable through the
+            // full three-step contract (extent fsync, dir fsync, commit).
+            for i in 0..PHASE1 {
+                db.put(key(i), val(i));
+            }
+            db.group_commit();
+            for s in 0..shards {
+                db.shard_mut(s).flush();
+            }
+            let phase1_shard0 = manifest_entries(&db, 0);
+            assert!(phase1_shard0 > 0, "phase 1 must land runs on shard 0");
+            let s0 = db.shard(0).stats();
+            assert!(
+                s0.extent_syncs >= 1 && s0.dir_syncs >= 1,
+                "phase 1 flush must exercise both fsync barriers \
+                 (extent_syncs={}, dir_syncs={})",
+                s0.extent_syncs,
+                s0.dir_syncs
+            );
+
+            // Phase 2: acknowledged by the barrier, then shard 0 flushes
+            // into the armed power cut.
+            for i in PHASE1..PHASE1 + PHASE2 {
+                db.put(key(i), val(i));
+            }
+            db.group_commit();
+            db.shard(0).storage().arm_power_cut(point, 0);
+            db.shard_mut(0).flush();
+            assert!(
+                db.shard(0).power_failed(),
+                "shards={shards} point={point:?}: the armed cut never fired"
+            );
+            assert!(db.crashed(), "a power-failed shard must crash the store");
+            drop(db); // power loss: in-memory structures die
+
+            let rec = recovered_persistent(shards, &p);
+            // The flush's batch never committed, so shard 0's structure
+            // rolls back to phase 1 — and recovery rebuilding every
+            // recorded run proves the rollback references no torn or
+            // unlinked pages.
+            assert_eq!(
+                manifest_entries(&rec, 0),
+                phase1_shard0,
+                "shards={shards} point={point:?}: wrong manifest prefix"
+            );
+            // ExtentUnsynced leaves the torn extent file on disk for the
+            // sweep; DirUnsynced unlinked it at the cut, so there is
+            // nothing left to collect.
+            let orphans = rec.shard(0).orphans_collected();
+            match point {
+                PowerCutPoint::ExtentUnsynced => assert!(
+                    orphans >= 1,
+                    "shards={shards}: the torn extent must be swept (got {orphans})"
+                ),
+                PowerCutPoint::DirUnsynced => assert_eq!(
+                    orphans, 0,
+                    "shards={shards}: the unlinked extent cannot reappear"
+                ),
+            }
+            // No acknowledged write is lost: the cut aborted the WAL
+            // truncation, so the dead flush's records replay from the log.
+            let mut rec = rec;
+            for i in 0..PHASE1 + PHASE2 {
+                assert_eq!(
+                    rec.get(&key(i)).as_deref(),
+                    Some(val(i).as_slice()),
+                    "shards={shards} point={point:?}: acknowledged key {i} lost"
+                );
+            }
+            // Safe id reuse: the recovered store flushes fresh extents
+            // (ids re-issued above the swept range) and restarts clean.
+            rec.put(key(9999), val(9999));
+            rec.group_commit();
+            rec.shard_mut(0).flush();
+            assert!(!rec.crashed(), "the recovered store must flush cleanly");
+            drop(rec);
+            let mut rec2 = recovered_persistent(shards, &p);
+            assert_eq!(rec2.get(&key(9999)).as_deref(), Some(val(9999).as_slice()));
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+/// Acceptance (ISSUE 8): recovery sweeps extent files that no manifest
+/// references — planted here as a stray file simulating an extent whose
+/// creating flush died before its commit — and re-issues ids safely
+/// afterwards: a second incarnation must not collide with anything the
+/// sweep removed.
+#[test]
+fn orphaned_extent_files_are_collected_and_their_ids_safely_reused() {
+    let root = persist_root("orphan");
+    let p = persist_cfg(&root, 0);
+    {
+        let mut db = persistent_store(1, &p);
+        for i in 0..30u64 {
+            db.put(key(i), val(i));
+        }
+        db.group_commit();
+        db.shard_mut(0).flush();
+    }
+    // Plant a stray extent file far above the live id range: the debris
+    // of a crashed pre-commit flush.
+    let stray = p.data_dir(0).join("extent-00000099.run");
+    std::fs::write(&stray, b"torn page debris").unwrap();
+
+    let mut rec = recovered_persistent(1, &p);
+    assert_eq!(
+        rec.shard(0).orphans_collected(),
+        1,
+        "the planted orphan must be swept"
+    );
+    assert!(!stray.exists(), "the stray file must be removed from disk");
+    for i in 0..30u64 {
+        assert_eq!(
+            rec.get(&key(i)).as_deref(),
+            Some(val(i).as_slice()),
+            "live key {i} lost to the sweep"
+        );
+    }
+    // Safe reuse: new flushes allocate ids above the retained maximum —
+    // not above the swept stray — and the store restarts clean on them.
+    for i in 30..60u64 {
+        rec.put(key(i), val(i));
+    }
+    rec.group_commit();
+    rec.shard_mut(0).flush();
+    drop(rec);
+    let mut rec2 = recovered_persistent(1, &p);
+    assert_eq!(
+        rec2.shard(0).orphans_collected(),
+        0,
+        "nothing left to sweep"
+    );
+    for i in 0..60u64 {
+        assert_eq!(
+            rec2.get(&key(i)).as_deref(),
+            Some(val(i).as_slice()),
+            "key {i} lost after id reuse"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A power cut that fires after a checkpoint's `rename(2)` but before the
+/// directory fsync makes it durable: the old manifest bytes come back on
+/// restart. The batch that triggered the checkpoint was appended to the
+/// old log *before* the rewrite, so nothing is lost — the restored log
+/// carries the full structure.
+#[test]
+fn checkpoint_rename_without_dir_fsync_rolls_back_to_the_old_log() {
+    let root = persist_root("predirsync");
+    // checkpoint_every = 1: every commit triggers a checkpoint rewrite.
+    let p = persist_cfg(&root, 1);
+    let mut db = persistent_store(1, &p);
+
+    for i in 0..30u64 {
+        db.put(key(i), val(i));
+    }
+    db.group_commit();
+    db.shard_mut(0).flush(); // healthy commit + checkpoint
+
+    for i in 30..60u64 {
+        db.put(key(i), val(i));
+    }
+    db.group_commit();
+    db.shard_mut(0)
+        .manifest_mut()
+        .unwrap()
+        .arm_crash(ManifestCrashPoint::PreDirSync, 0);
+    db.shard_mut(0).flush(); // batch appends, rename tears back
+    assert!(db.crashed(), "the pre-dir-sync cut never fired");
+    drop(db);
+
+    let mut rec = recovered_persistent(1, &p);
+    // The rolled-back bytes are the old log *including* the appended
+    // batch, so the full structure survives.
+    assert_eq!(manifest_entries(&rec, 0), 60);
+    for i in 0..60u64 {
+        assert_eq!(
+            rec.get(&key(i)).as_deref(),
+            Some(val(i).as_slice()),
+            "key {i} lost across the torn checkpoint rename"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Acceptance (ISSUE 8): a *missing* extent that the manifest does
+/// reference — deleted out from under a healthy store — surfaces as a
+/// typed recovery error, never a panic. (An unreferenced missing file is
+/// the orphan sweep's business; a referenced one is data loss recovery
+/// must report.)
+#[test]
+fn missing_referenced_extent_is_a_typed_recovery_error_not_a_panic() {
+    let root = persist_root("missing");
+    let p = persist_cfg(&root, 0);
+    {
+        let mut db = persistent_store(1, &p);
+        for i in 0..30u64 {
+            db.put(key(i), val(i));
+        }
+        db.group_commit();
+        db.shard_mut(0).flush();
+    }
+    // Delete every live extent file: the manifest still records the runs.
+    let mut removed = 0usize;
+    for entry in std::fs::read_dir(p.data_dir(0)).unwrap() {
+        let path = entry.unwrap().path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("extent-"))
+        {
+            std::fs::remove_file(&path).unwrap();
+            removed += 1;
+        }
+    }
+    assert!(removed > 0, "the flush must have persisted extent files");
+
+    let err = match ShardedRusKey::recover_persistent(
+        big_buffer_cfg(),
+        1,
+        Box::new(ruskey_repro::ruskey::tuner::NoOpTuner),
+        &p,
+    ) {
+        Ok(_) => panic!("recovery over missing referenced extents must fail"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("missing"),
+        "the error must name the missing extent, got: {err}"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
