@@ -123,10 +123,9 @@ pub fn ablation_cache(scale: &ExperimentScale) -> Vec<AblationRow> {
                 let report = db.run_mission(&missions.next_mission());
                 latencies.push(report.ns_per_op() / 1e6);
             }
-            let tail = &latencies[latencies.len() - latencies.len() / 3..];
             rows.push(AblationRow {
                 label: format!("{label}/K={k}"),
-                tail_latency_ms: tail.iter().sum::<f64>() / tail.len() as f64,
+                tail_latency_ms: crate::tail_mean(&latencies, 1.0 / 3.0),
                 converged_at: None,
                 final_k1: k,
             });
@@ -211,6 +210,7 @@ mod tests {
 
     #[test]
     fn cache_ablation_runs_tiny() {
+        let _serial = crate::real_time_test_guard();
         let scale = ExperimentScale {
             load_entries: 1500,
             mission_size: 100,

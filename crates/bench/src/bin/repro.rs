@@ -6,7 +6,7 @@
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
 //!   bruteforce  shard_scaling  durability  persistence  read_path
-//!   compaction  all  ablations  lab
+//!   compaction  serve  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -513,6 +513,56 @@ fn run_compaction(scale: &ExperimentScale, scale_label: &str, json_path: &Option
     println!();
 }
 
+fn run_serve(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Serving: concurrent closed-loop clients over the shard workers ==");
+    let v = serve(scale);
+    println!(
+        "{:<9}{:<8}{:>10}{:>10}{:>8}{:>12}{:>12}{:>12}{:>12}{:>8}{:>8}{:>8}",
+        "clients",
+        "shards",
+        "ops",
+        "acked",
+        "stalls",
+        "kops/s",
+        "p50 ns",
+        "p99 ns",
+        "p999 ns",
+        "batch",
+        "ryw",
+        "ok"
+    );
+    for r in &v.rows {
+        println!(
+            "{:<9}{:<8}{:>10}{:>10}{:>8}{:>12.1}{:>12}{:>12}{:>12}{:>8.2}{:>8}{:>8}",
+            r.clients,
+            r.shards,
+            r.ops_total,
+            r.acked_writes,
+            r.stalls,
+            r.throughput_kops,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.mean_batch,
+            r.ryw_checks,
+            r.ok
+        );
+    }
+    println!(
+        "  crash leg: acked={} ok={}   admission leg: rejections={} ok={}   serve_ok={}",
+        v.crash_acked, v.crash_ok, v.admission_rejections, v.admission_ok, v.ok
+    );
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "serve.json".to_string());
+    let json = serve_json(scale_label, &v);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_bruteforce(scale: &ExperimentScale) {
     println!("== Brute-force learning comparison (write-heavy workload) ==");
     for r in bruteforce(scale) {
@@ -606,6 +656,7 @@ fn main() {
         || want("persistence")
         || want("read_path")
         || want("compaction")
+        || want("serve")
     {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
@@ -649,6 +700,14 @@ fn main() {
                 &None
             };
             run_compaction(scale, label, json);
+        }
+        if want("serve") {
+            let json = if args.experiment == "serve" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_serve(scale, label, json);
         }
     }
     if args.experiment == "ablations" {

@@ -170,17 +170,16 @@ fn run_variant(
     }
 
     latencies.sort_unstable();
-    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
-    let p99 = pct(0.99);
+    let p99 = crate::percentile_ns(&latencies, 0.99);
     let stats = tree.stats();
     let ok = mismatches == 0
         && (!background || (stats.bg_compactions > 0 && inline_p99.is_none_or(|ip| p99 <= ip)));
     CompactionRow {
         variant,
         ops,
-        p50_ns: pct(0.50),
+        p50_ns: crate::percentile_ns(&latencies, 0.50),
         p99_ns: p99,
-        max_ns: *latencies.last().unwrap(),
+        max_ns: crate::max_ns(&latencies),
         flushes: stats.flushes,
         bg_compactions: stats.bg_compactions,
         stall_ns: stats.stall_ns,
@@ -213,6 +212,7 @@ mod tests {
 
     #[test]
     fn background_beats_inline_tail_latency_and_stays_equivalent() {
+        let _serial = crate::real_time_test_guard();
         let rows = compaction(&tiny());
         assert_eq!(rows[0].variant, "inline");
         assert_eq!(rows[1].variant, "background");

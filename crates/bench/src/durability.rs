@@ -170,6 +170,7 @@ mod tests {
 
     #[test]
     fn durability_rows_hold_group_commit_invariants() {
+        let _serial = crate::real_time_test_guard();
         let scale = ExperimentScale {
             load_entries: 1200,
             mission_size: 120,

@@ -6,6 +6,7 @@ use crate::experiments::{Comparison, RankingTable, Series};
 use crate::persistence::PersistenceRow;
 use crate::read_path::ReadPathRow;
 use crate::scaling::ShardScalingRow;
+use crate::serve::ServeVerdict;
 
 /// Renders a mission-series comparison as CSV: `mission,method,...`.
 pub fn series_csv(series: &[Series]) -> String {
@@ -332,6 +333,58 @@ pub fn persistence_json(scale_label: &str, rows: &[PersistenceRow]) -> String {
     out
 }
 
+/// Renders the concurrent-serving experiment as machine-readable JSON.
+/// Each row carries the closed-loop measurement (real-time throughput,
+/// p50/p99/p999 request latency, cross-client commit coalescing,
+/// backpressure stalls) and the equivalence accounting (mid-flight
+/// read-your-writes rereads, final-state shadow comparison); the
+/// per-row verdicts conjoin with the crash-durability and
+/// admission-control legs into the top-level `serve_ok` flag CI greps
+/// as a smoke check. `crash_ok` and `admission_ok` are also reported on
+/// their own.
+pub fn serve_json(scale_label: &str, v: &ServeVerdict) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"serve\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!("  \"serve_ok\": {},\n", v.ok));
+    out.push_str(&format!("  \"crash_ok\": {},\n", v.crash_ok));
+    out.push_str(&format!("  \"crash_acked\": {},\n", v.crash_acked));
+    out.push_str(&format!("  \"admission_ok\": {},\n", v.admission_ok));
+    out.push_str(&format!(
+        "  \"admission_rejections\": {},\n",
+        v.admission_rejections
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in v.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"shards\": {}, \"ops_total\": {}, \
+             \"acked_writes\": {}, \"stalls\": {}, \"throughput_kops\": {:.3}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \
+             \"mean_batch\": {:.2}, \"ryw_checks\": {}, \"ryw_violations\": {}, \
+             \"final_mismatches\": {}, \"client_errors\": {}, \"ok\": {}}}{}\n",
+            r.clients,
+            r.shards,
+            r.ops_total,
+            r.acked_writes,
+            r.stalls,
+            r.throughput_kops,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.max_ns,
+            r.mean_batch,
+            r.ryw_checks,
+            r.ryw_violations,
+            r.final_mismatches,
+            r.client_errors,
+            r.ok,
+            if i + 1 < v.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -356,6 +409,7 @@ pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::ServeRow;
     use ruskey::runner::MissionRecord;
 
     fn record(mission: usize, latency: f64) -> MissionRecord {
@@ -603,6 +657,60 @@ mod tests {
             ],
         );
         assert!(bad.contains("\"compaction_ok\": false"));
+        // Balanced braces/brackets, no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn serve_json_carries_all_verdict_legs() {
+        let row = |clients: usize, mean_batch: f64, ok: bool| ServeRow {
+            clients,
+            shards: 4,
+            ops_total: 3200,
+            acked_writes: 1500,
+            stalls: 3,
+            throughput_kops: 120.5,
+            p50_ns: 8_000,
+            p99_ns: 90_000,
+            p999_ns: 400_000,
+            max_ns: 900_000,
+            mean_batch,
+            ryw_checks: 300,
+            ryw_violations: 0,
+            final_mismatches: 0,
+            client_errors: 0,
+            ok,
+        };
+        let v = ServeVerdict {
+            rows: vec![row(1, 1.0, true), row(16, 2.4, true)],
+            crash_acked: 220,
+            crash_ok: true,
+            admission_rejections: 57,
+            admission_ok: true,
+            ok: true,
+        };
+        let json = serve_json("tiny", &v);
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"serve_ok\": true"));
+        assert!(json.contains("\"crash_ok\": true"));
+        assert!(json.contains("\"admission_ok\": true"));
+        assert!(json.contains("\"admission_rejections\": 57"));
+        // The tail percentiles the issue pins are named in every row.
+        assert_eq!(json.matches("\"p999_ns\":").count(), 2);
+        assert_eq!(json.matches("\"mean_batch\":").count(), 2);
+        assert_eq!(json.matches("\"ryw_violations\":").count(), 2);
+        // A failed leg flips only the top-level verdict it feeds.
+        let bad = ServeVerdict {
+            crash_ok: false,
+            ok: false,
+            ..v
+        };
+        let bad_json = serve_json("tiny", &bad);
+        assert!(bad_json.contains("\"serve_ok\": false"));
+        assert!(bad_json.contains("\"crash_ok\": false"));
+        assert!(bad_json.contains("\"admission_ok\": true"));
         // Balanced braces/brackets, no trailing comma before the close.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -211,6 +211,7 @@ mod tests {
 
     #[test]
     fn persistence_rows_hold_restart_equivalence() {
+        let _serial = crate::real_time_test_guard();
         let scale = ExperimentScale {
             load_entries: 1000,
             mission_size: 100,

@@ -88,8 +88,16 @@ fn gcd(a: u64, b: u64) -> u64 {
 /// A stride co-prime with `n`, so `i -> (i * stride) % n` permutes
 /// `0..n` — the cold sweep visits every key while destroying the
 /// sequential page locality a linear sweep would enjoy.
+///
+/// The stride sits near the golden-ratio fraction of `n`: successive
+/// probes then land far apart everywhere in the key space (three-
+/// distance theorem). A stride near `n/2` — the old choice — is also
+/// coprime but degenerates into two interleaved *sequential* sweeps
+/// (`i*s mod n` advances by a constant ±small step within each parity
+/// class), whose two-page working set made the "cold" phase run almost
+/// entirely from cache.
 fn coprime_stride(n: u64) -> u64 {
-    let mut s = (n / 2) | 1;
+    let mut s = (n * 618 / 1000) | 1;
     while gcd(s, n) != 1 {
         s += 2;
     }
@@ -109,10 +117,13 @@ fn run_variant(scale: &ExperimentScale, cached: bool) -> ReadPathRow {
 
     let disk = FileDisk::new(&root, scale.page_size, scale.cost).expect("open FileDisk");
     // Sized well below the data so the cold sweep actually misses, but
-    // comfortably above the hot working set's page footprint.
+    // comfortably above the hot working set's page footprint. The floor
+    // must stay small relative to tiny-scale data (~40 pages): a cache
+    // holding most of the tree turns "cold" into a second hot phase and
+    // the hot-vs-cold comparison into a coin flip.
     let est_pages = (scale.load_entries * (scale.key_len + scale.value_len + 16) as u64)
         / scale.page_size as u64;
-    let cache_pages = (est_pages / 8).max(32) as usize;
+    let cache_pages = (est_pages / 8).max(8) as usize;
     let cache = cached.then(|| BlockCache::new(Arc::clone(&disk), cache_pages));
     let mut tree = match &cache {
         Some(c) => FlsmTree::try_new(RusKeyConfig::scaled_default().lsm, Arc::clone(c) as _),
@@ -142,12 +153,18 @@ fn run_variant(scale: &ExperimentScale, cached: bool) -> ReadPathRow {
     let fds_base = disk.fds_opened();
     let grows_base = disk.buffer_grows();
 
+    // The hot phase is steady-state cache-resident, so its true cost is
+    // the *minimum* over repeated timed passes — a single pass can absorb
+    // a scheduler preemption and spuriously lose to the cold sweep.
     let reads_before_hot = disk.metrics().pages_read;
-    let t0 = Instant::now();
-    for i in 0..ops_per_phase {
-        tree.get(&hot[(i % hot.len() as u64) as usize]);
+    let mut hot_ns_per_op = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for i in 0..ops_per_phase {
+            tree.get(&hot[(i % hot.len() as u64) as usize]);
+        }
+        hot_ns_per_op = hot_ns_per_op.min(t0.elapsed().as_nanos() as f64 / ops_per_phase as f64);
     }
-    let hot_ns_per_op = t0.elapsed().as_nanos() as f64 / ops_per_phase as f64;
     let hot_device_reads = disk.metrics().pages_read - reads_before_hot;
 
     let stride = coprime_stride(entries);
@@ -167,11 +184,17 @@ fn run_variant(scale: &ExperimentScale, cached: bool) -> ReadPathRow {
         .collect();
     let reads_before_missing = disk.metrics().pages_read;
     let probes_before_missing = sum_probes(&tree);
-    let t0 = Instant::now();
-    for i in 0..ops_per_phase {
-        tree.get(&missing[(i % HOT_KEYS) as usize]);
+    // Min-of-3 like the hot phase: the comparison against the minimized
+    // hot cost must not be skewed by noise on this side either.
+    let mut missing_ns_per_op = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for i in 0..ops_per_phase {
+            tree.get(&missing[(i % HOT_KEYS) as usize]);
+        }
+        missing_ns_per_op =
+            missing_ns_per_op.min(t0.elapsed().as_nanos() as f64 / ops_per_phase as f64);
     }
-    let missing_ns_per_op = t0.elapsed().as_nanos() as f64 / ops_per_phase as f64;
     let missing_device_reads = disk.metrics().pages_read - reads_before_missing;
     let missing_probes = sum_probes(&tree) - probes_before_missing;
 
@@ -236,6 +259,7 @@ mod tests {
 
     #[test]
     fn cached_row_serves_hot_keys_from_memory() {
+        let _serial = crate::real_time_test_guard();
         let r = run_variant(&tiny(), true);
         assert!(r.ok, "cached read-path invariants failed: {r:?}");
         assert!(r.cache_hits > 0, "hot phase must hit the cache");
@@ -248,6 +272,7 @@ mod tests {
 
     #[test]
     fn uncached_row_is_alloc_free_and_rejects_missing_keys() {
+        let _serial = crate::real_time_test_guard();
         let r = run_variant(&tiny(), false);
         assert!(r.ok, "uncached read-path invariants failed: {r:?}");
         assert_eq!(r.cache_hits, 0);

@@ -250,6 +250,7 @@ mod tests {
 
     #[test]
     fn scaling_rows_cover_every_shard_count() {
+        let _serial = crate::real_time_test_guard();
         let scale = ExperimentScale {
             load_entries: 1500,
             mission_size: 150,
@@ -298,6 +299,7 @@ mod tests {
 
     #[test]
     fn filedisk_rows_exercise_per_shard_handles() {
+        let _serial = crate::real_time_test_guard();
         let scale = ExperimentScale {
             load_entries: 800,
             mission_size: 80,

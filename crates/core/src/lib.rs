@@ -70,6 +70,7 @@
 
 pub mod db;
 pub mod dqn_lerp;
+pub mod frontend;
 pub mod lerp;
 pub mod runner;
 pub mod sharded;
@@ -79,6 +80,7 @@ pub mod tuner;
 
 pub use db::{RusKey, RusKeyConfig};
 pub use dqn_lerp::DqnLerp;
+pub use frontend::{MetricsSnapshot, ServingClient, ServingConfig, ServingError, ServingFrontend};
 pub use lerp::{Lerp, LerpConfig};
 pub use sharded::{DurabilityConfig, OpenError, ShardedRusKey};
 pub use stats::{LevelMissionStats, MissionReport, StatsCollector};

@@ -119,11 +119,27 @@
 //! `N ∈ {1, 2, 4}`; the manifest crash matrix in
 //! `tests/crash_recovery.rs` pins every
 //! [`ruskey_lsm::ManifestCrashPoint`].
+//!
+//! ## Ad-hoc operations and serving
+//!
+//! The plain KV interface (`get`/`put`/`delete`/`scan` between missions)
+//! routes through the same shard workers as mission lanes: each call
+//! ships the owning shard's tree to its worker, executes there, and ad-hoc
+//! *writes* earn periodic boundary maintenance on the worker (every
+//! [`ADHOC_BOUNDARY_OPS`] writes per shard, the same bounded
+//! [`FlsmTree::maintain`] grant a mission lane gets) — so a put-heavy
+//! ad-hoc caller sees the exact backpressure and `stall_ns` attribution
+//! a mission would, and an ad-hoc scan's per-shard charges land in the
+//! shards' own time domains, in parallel, exactly as on the mission
+//! path. For *many concurrent callers*, [`ShardedRusKey::serve`] parks
+//! every shard in a serving loop behind bounded MPSC queues — see
+//! [`crate::frontend`] for the scheduler, admission control, and live
+//! metrics.
 
 use std::collections::{BinaryHeap, HashSet};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle, ThreadId};
 use std::time::Instant;
 
@@ -134,6 +150,9 @@ use ruskey_workload::routing::{partition_ops_owned, shard_for_key};
 use ruskey_workload::Operation;
 
 use crate::db::{execute_op, RusKeyConfig};
+use crate::frontend::{
+    self, MetricsSnapshot, ServeShared, ServingConfig, ServingFrontend, ShardRequest,
+};
 use crate::lerp::Lerp;
 use crate::stats::{MissionReport, StatsCollector};
 use crate::tuner::{NoOpTuner, TreeObservation, Tuner};
@@ -402,6 +421,34 @@ pub struct CommitStats {
     pub syncs: u64,
 }
 
+/// Ad-hoc writes per shard between boundary maintenance grants on the
+/// worker — the serving/ad-hoc twin of a mission lane's boundary (the
+/// compaction bench pins lane boundaries at the same order of magnitude).
+pub(crate) const ADHOC_BOUNDARY_OPS: u64 = 32;
+
+/// Bounded maintenance steps per boundary grant, identical to the grant a
+/// mission lane gets between its operations and its commit leg.
+const BOUNDARY_MAINTAIN_STEPS: u64 = 4;
+
+/// One ad-hoc operation executed on the owning shard's worker.
+enum AdhocOp {
+    Get(Bytes),
+    Put(Bytes, Bytes),
+    Delete(Bytes),
+    Scan {
+        start: Bytes,
+        end: Bytes,
+        limit: usize,
+    },
+}
+
+/// The payload an ad-hoc job sends home with its tree.
+enum AdhocOut {
+    Value(Option<Bytes>),
+    Written,
+    Scan(Vec<(Bytes, Bytes)>),
+}
+
 /// One unit of work for a shard worker. Every variant that executes
 /// carries the shard's tree in and returns it with the reply — trees are
 /// owned by exactly one side at any instant.
@@ -416,6 +463,28 @@ enum Job {
     /// A standalone commit-barrier leg ([`ShardedRusKey::group_commit`]
     /// outside a mission).
     Commit { tree: FlsmTree, reply: Sender<Done> },
+    /// One ad-hoc op from the plain KV interface, executed on the shard's
+    /// worker so its charges land in the shard's own time domain and
+    /// (for writes) boundary maintenance interleaves exactly as on the
+    /// mission path. No commit leg: durability still comes from the
+    /// group-commit barrier.
+    Adhoc {
+        tree: FlsmTree,
+        op: AdhocOp,
+        /// Grant boundary maintenance after the op (every
+        /// [`ADHOC_BOUNDARY_OPS`]th write per shard).
+        maintain: bool,
+        reply: Sender<Done>,
+    },
+    /// Park the shard in the serving loop ([`crate::frontend`]): the
+    /// worker drains the session's bounded request queue in batches until
+    /// shutdown, then ships the tree home.
+    Serve {
+        tree: FlsmTree,
+        requests: Receiver<ShardRequest>,
+        shared: Arc<ServeShared>,
+        reply: Sender<Done>,
+    },
     /// Test hook: panic on the worker thread (`tests/pool_stress.rs`
     /// asserts the panic surfaces as a clean [`MissionError`]).
     Panic,
@@ -426,7 +495,10 @@ impl Job {
     /// worker's queue is gone).
     fn into_tree(self) -> Option<FlsmTree> {
         match self {
-            Job::Lane { tree, .. } | Job::Commit { tree, .. } => Some(tree),
+            Job::Lane { tree, .. }
+            | Job::Commit { tree, .. }
+            | Job::Adhoc { tree, .. }
+            | Job::Serve { tree, .. } => Some(tree),
             Job::Panic => None,
         }
     }
@@ -444,11 +516,15 @@ struct CommitLeg {
 }
 
 /// A worker's reply: the tree comes home together with what happened.
-struct Done {
+/// `pub(crate)` so [`crate::frontend::ServingFrontend`] can hold the
+/// serving session's tree-return channel; the fields stay module-private.
+pub(crate) struct Done {
     shard: usize,
     tree: FlsmTree,
     worker: ThreadId,
     commit: CommitLeg,
+    /// An ad-hoc job's result payload ([`Job::Adhoc`] only).
+    adhoc: Option<AdhocOut>,
 }
 
 /// A completed shard job after its tree has been restored to the store.
@@ -456,6 +532,7 @@ struct ShardDone {
     shard: usize,
     worker: ThreadId,
     commit: CommitLeg,
+    adhoc: Option<AdhocOut>,
 }
 
 /// Runs one shard's commit leg, measured on the tree's own time domain.
@@ -495,7 +572,7 @@ fn worker_loop(shard: usize, jobs: Receiver<Job>) {
                 // operations and its commit leg — off every op's path,
                 // overlapped with the sibling shards' lanes.
                 if tree.config().background_maintenance {
-                    tree.maintain(4);
+                    tree.maintain(BOUNDARY_MAINTAIN_STEPS);
                 }
                 // The commit leg runs as soon as this shard's lane is
                 // done — overlapped with siblings still executing theirs.
@@ -505,6 +582,7 @@ fn worker_loop(shard: usize, jobs: Receiver<Job>) {
                     tree,
                     worker: thread::current().id(),
                     commit,
+                    adhoc: None,
                 });
             }
             Job::Commit { mut tree, reply } => {
@@ -514,6 +592,57 @@ fn worker_loop(shard: usize, jobs: Receiver<Job>) {
                     tree,
                     worker: thread::current().id(),
                     commit,
+                    adhoc: None,
+                });
+            }
+            Job::Adhoc {
+                mut tree,
+                op,
+                maintain,
+                reply,
+            } => {
+                let out = match op {
+                    AdhocOp::Get(key) => AdhocOut::Value(tree.get(&key)),
+                    AdhocOp::Put(key, value) => {
+                        tree.put(key, value);
+                        AdhocOut::Written
+                    }
+                    AdhocOp::Delete(key) => {
+                        tree.delete(key);
+                        AdhocOut::Written
+                    }
+                    AdhocOp::Scan { start, end, limit } => {
+                        AdhocOut::Scan(tree.scan(&start, &end, limit))
+                    }
+                };
+                // Every ADHOC_BOUNDARY_OPS-th write is a boundary: the
+                // same bounded maintenance grant a mission lane gets, so
+                // an ad-hoc write burst pays down its deferred work
+                // instead of deferring it forever.
+                if maintain && tree.config().background_maintenance {
+                    tree.maintain(BOUNDARY_MAINTAIN_STEPS);
+                }
+                let _ = reply.send(Done {
+                    shard,
+                    tree,
+                    worker: thread::current().id(),
+                    commit: CommitLeg::default(),
+                    adhoc: Some(out),
+                });
+            }
+            Job::Serve {
+                mut tree,
+                requests,
+                shared,
+                reply,
+            } => {
+                frontend::serve_shard(shard, &mut tree, &requests, &shared);
+                let _ = reply.send(Done {
+                    shard,
+                    tree,
+                    worker: thread::current().id(),
+                    commit: CommitLeg::default(),
+                    adhoc: None,
                 });
             }
             Job::Panic => panic!("injected shard-worker panic (test hook)"),
@@ -598,6 +727,9 @@ pub struct ShardedRusKey {
     /// mission's physical scan delta includes them `N` times; tracking
     /// them keeps the broadcast invariant exact.
     adhoc_scans: u64,
+    /// Lifetime ad-hoc writes per shard: every [`ADHOC_BOUNDARY_OPS`]-th
+    /// one is a maintenance boundary on the shard's worker.
+    adhoc_writes: Vec<u64>,
     /// Set once a dispatch observed a dead worker: every later dispatch
     /// fails fast with [`MissionError::WorkerUnavailable`] *before*
     /// enqueuing anything, so a dead engine applies at most one partial
@@ -639,6 +771,7 @@ impl ShardedRusKey {
             last_report: None,
             last_workers: Vec::new(),
             adhoc_scans: 0,
+            adhoc_writes: vec![0; shards],
             dead_worker: None,
         })
     }
@@ -732,6 +865,7 @@ impl ShardedRusKey {
             last_report: None,
             last_workers: Vec::new(),
             adhoc_scans: 0,
+            adhoc_writes: vec![0; shards],
             dead_worker: None,
         })
     }
@@ -792,6 +926,7 @@ impl ShardedRusKey {
             last_report: None,
             last_workers: Vec::new(),
             adhoc_scans: 0,
+            adhoc_writes: vec![0; shards],
             dead_worker: None,
         };
         store.collector.baseline_shards(store.shard_snapshots());
@@ -855,6 +990,7 @@ impl ShardedRusKey {
             last_report: None,
             last_workers: Vec::new(),
             adhoc_scans: 0,
+            adhoc_writes: vec![0; shards],
             dead_worker: None,
         };
         store.collector.baseline_shards(store.shard_snapshots());
@@ -1004,12 +1140,14 @@ impl ShardedRusKey {
                 tree,
                 worker,
                 commit,
+                adhoc,
             } = done;
             self.shards[shard] = Some(tree);
             dones.push(ShardDone {
                 shard,
                 worker,
                 commit,
+                adhoc,
             });
         }
         if let Some(shard) = dead_shard {
@@ -1126,35 +1264,214 @@ impl ShardedRusKey {
         shard_for_key(key, self.shards.len())
     }
 
-    /// Point lookup, routed to the owning shard.
-    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
-        let s = self.owner(key);
-        self.tree_mut(s).get(key)
+    /// Ships one ad-hoc op to the owning shard's worker and waits for the
+    /// tree (and result) to come home. Worker death keeps the exact
+    /// semantics the inline path had: a panic with the shard named, and a
+    /// permanently dead engine.
+    fn adhoc_one(&mut self, shard: usize, op: AdhocOp) -> AdhocOut {
+        if let Some(s) = self.dead_worker {
+            panic!("shard {s}'s worker died; the engine is unavailable");
+        }
+        let maintain = matches!(op, AdhocOp::Put(..) | AdhocOp::Delete(..)) && {
+            self.adhoc_writes[shard] += 1;
+            self.adhoc_writes[shard].is_multiple_of(ADHOC_BOUNDARY_OPS)
+        };
+        let tree = self.shards[shard]
+            .take()
+            .unwrap_or_else(|| panic!("shard {shard}'s worker died; the engine is unavailable"));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if let Err(job) = self.pool.send(
+            shard,
+            Job::Adhoc {
+                tree,
+                op,
+                maintain,
+                reply: reply_tx,
+            },
+        ) {
+            self.shards[shard] = job.into_tree();
+            self.dead_worker = Some(shard);
+            panic!("shard {shard}'s worker died; the engine is unavailable");
+        }
+        match reply_rx.recv() {
+            Ok(done) => {
+                self.shards[done.shard] = Some(done.tree);
+                done.adhoc.expect("an ad-hoc job replies with its result")
+            }
+            Err(_) => {
+                self.dead_worker = Some(shard);
+                panic!("shard {shard}'s worker died; the engine is unavailable");
+            }
+        }
     }
 
-    /// Insert or overwrite, routed to the owning shard.
+    /// Point lookup, routed to the owning shard's worker.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        let s = self.owner(key);
+        match self.adhoc_one(s, AdhocOp::Get(Bytes::copy_from_slice(key))) {
+            AdhocOut::Value(v) => v,
+            _ => unreachable!("get replies with a value"),
+        }
+    }
+
+    /// Insert or overwrite, routed to the owning shard's worker (which
+    /// interleaves boundary maintenance exactly as mission lanes do —
+    /// an ad-hoc write burst gets the same L0 backpressure and
+    /// `stall_ns` attribution a mission would).
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
-        self.tree_mut(s).put(key, value);
+        self.adhoc_one(s, AdhocOp::Put(key, value.into()));
     }
 
-    /// Delete, routed to the owning shard.
+    /// Delete, routed to the owning shard's worker (same maintenance
+    /// interleaving as [`ShardedRusKey::put`]).
     pub fn delete(&mut self, key: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
-        self.tree_mut(s).delete(key);
+        self.adhoc_one(s, AdhocOp::Delete(key));
     }
 
     /// Range scan over `[start, end)` with a result limit: every shard
-    /// scans its partition, and the per-shard results (sorted, disjoint)
-    /// are k-way merged into one globally sorted result.
+    /// scans its partition *on its own worker* — in parallel, each leg
+    /// charged to its shard's time domain exactly as on the mission
+    /// path — and the per-shard results (sorted, disjoint) are k-way
+    /// merged into one globally sorted result.
     pub fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Bytes, Bytes)> {
         self.adhoc_scans += 1;
-        let per_shard: Vec<Vec<(Bytes, Bytes)>> = (0..self.shards.len())
-            .map(|i| self.tree_mut(i).scan(start, end, limit))
-            .collect();
+        let n = self.shards.len();
+        let (s, e) = (Bytes::copy_from_slice(start), Bytes::copy_from_slice(end));
+        let dones = self
+            .dispatch(|_, tree, reply| Job::Adhoc {
+                tree,
+                op: AdhocOp::Scan {
+                    start: s.clone(),
+                    end: e.clone(),
+                    limit,
+                },
+                maintain: false,
+                reply,
+            })
+            .unwrap_or_else(|e| panic!("ad-hoc scan failed: {e}"));
+        let mut per_shard: Vec<Vec<(Bytes, Bytes)>> = vec![Vec::new(); n];
+        for d in dones {
+            if let Some(AdhocOut::Scan(rows)) = d.adhoc {
+                per_shard[d.shard] = rows;
+            }
+        }
         merge_sorted_scans(per_shard, limit)
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrent serving
+    // ------------------------------------------------------------------
+
+    /// Starts a serving session: every shard's tree ships to its worker,
+    /// which parks in the serving loop behind a bounded request queue
+    /// (capacity [`ServingConfig::queue_depth`]). The returned
+    /// [`ServingFrontend`] is `Send + Sync`: hand out
+    /// [`ServingClient`](crate::frontend::ServingClient)s to as many
+    /// threads as you like — writes coalesce across clients into
+    /// per-shard group-commit batches, the token bucket gates admission,
+    /// and the live metrics registry tracks it all (see
+    /// [`crate::frontend`]).
+    ///
+    /// While serving, the store itself has no trees: missions, ad-hoc
+    /// ops, and introspection must wait until
+    /// [`ShardedRusKey::finish_serving`] brings them home. Dropping the
+    /// frontend without finishing leaves the engine permanently
+    /// unavailable.
+    pub fn serve(&mut self, cfg: ServingConfig) -> Result<ServingFrontend, MissionError> {
+        if let Some(shard) = self.dead_worker {
+            return Err(MissionError::WorkerUnavailable { shard });
+        }
+        if let Some(shard) = self.shards.iter().position(Option::is_none) {
+            return Err(MissionError::WorkerUnavailable { shard });
+        }
+        let n = self.shards.len();
+        let shared = Arc::new(ServeShared::new(cfg, n));
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::sync_channel(shared.cfg.queue_depth.max(1));
+            let tree = self.shards[i].take().expect("all trees checked present");
+            match self.pool.send(
+                i,
+                Job::Serve {
+                    tree,
+                    requests: rx,
+                    shared: Arc::clone(&shared),
+                    reply: done_tx.clone(),
+                },
+            ) {
+                Ok(()) => senders.push(tx),
+                Err(job) => {
+                    // Worker i is gone: recover its tree from the unsent
+                    // job, wind down the shards already serving (dropping
+                    // their queue senders ends their loops), and fail.
+                    self.shards[i] = job.into_tree();
+                    self.dead_worker = Some(i);
+                    drop(senders);
+                    drop(done_tx);
+                    while let Ok(done) = done_rx.recv() {
+                        self.shards[done.shard] = Some(done.tree);
+                    }
+                    return Err(MissionError::WorkerUnavailable { shard: i });
+                }
+            }
+        }
+        drop(done_tx);
+        Ok(ServingFrontend {
+            senders,
+            shared,
+            done_rx: Mutex::new(done_rx),
+            dispatched: n,
+        })
+    }
+
+    /// Ends a serving session: sends each shard a shutdown request,
+    /// collects the trees back onto the store, folds the served work out
+    /// of the next mission's statistics delta (exactly like
+    /// [`ShardedRusKey::bulk_load`] — the serving traffic is not a
+    /// mission), and returns the session's final metrics snapshot.
+    ///
+    /// A shard whose serve loop already stopped (mid-serve crash
+    /// injection, WAL failure) just returns its tree — the snapshot and
+    /// [`ShardedRusKey::crashed`] tell the caller what happened. A shard
+    /// whose *worker* died serving returns nothing, and the engine is
+    /// dead: [`MissionError::WorkerPanicked`].
+    pub fn finish_serving(
+        &mut self,
+        frontend: ServingFrontend,
+    ) -> Result<MetricsSnapshot, MissionError> {
+        let ServingFrontend {
+            senders,
+            shared,
+            done_rx,
+            dispatched,
+        } = frontend;
+        let done_rx = done_rx.into_inner().expect("serving done-channel poisoned");
+        for tx in &senders {
+            // A shard that already stopped serving has dropped its queue;
+            // the failed send *is* the confirmation, not an error.
+            let _ = tx.send(ShardRequest::Shutdown);
+        }
+        drop(senders);
+        for _ in 0..dispatched {
+            // Cannot hang: every worker either sends its Done (tree home)
+            // or panicked — closing the channel once the rest finish.
+            let Ok(done) = done_rx.recv() else { break };
+            self.shards[done.shard] = Some(done.tree);
+        }
+        if let Some(shard) = self.shards.iter().position(Option::is_none) {
+            self.dead_worker = Some(shard);
+            return Err(MissionError::WorkerPanicked { shard });
+        }
+        // Snapshot after every loop stopped, so the final batches are in.
+        let snapshot = shared.metrics.snapshot();
+        self.collector.baseline_shards(self.shard_snapshots());
+        self.adhoc_scans = 0;
+        Ok(snapshot)
     }
 
     // ------------------------------------------------------------------
@@ -1359,7 +1676,12 @@ impl Ord for MergeHead {
 
 /// K-way merges per-shard scan results (each sorted, keys disjoint across
 /// shards) into one sorted result of at most `limit` entries.
-fn merge_sorted_scans(per_shard: Vec<Vec<(Bytes, Bytes)>>, limit: usize) -> Vec<(Bytes, Bytes)> {
+/// `pub(crate)`: the serving frontend's broadcast scans merge through the
+/// same code path.
+pub(crate) fn merge_sorted_scans(
+    per_shard: Vec<Vec<(Bytes, Bytes)>>,
+    limit: usize,
+) -> Vec<(Bytes, Bytes)> {
     let mut iters: Vec<std::vec::IntoIter<(Bytes, Bytes)>> =
         per_shard.into_iter().map(Vec::into_iter).collect();
     let mut heap = BinaryHeap::with_capacity(iters.len());

@@ -105,6 +105,10 @@ pub struct MissionReport {
     /// (inline flushes/cascades, background-mode backpressure stalls;
     /// summed over shards).
     pub stall_ns: u64,
+    /// Real wall-clock ns acknowledged writes spent waiting in a serving
+    /// frontend's per-shard admission queue before a shard executed them
+    /// (summed over shards; 0 outside serving).
+    pub queue_stall_ns: u64,
     /// Background maintenance steps (applied merges and trivial moves)
     /// completed during the mission (summed over shards; 0 for an
     /// inline-compaction store).
@@ -279,6 +283,7 @@ impl StatsCollector {
             cache_misses: d.cache_misses,
             cache_evictions: d.cache_evictions,
             stall_ns: d.stall_ns,
+            queue_stall_ns: d.queue_stall_ns,
             bg_compactions: d.bg_compactions,
             // A gauge, not a counter: report the end-of-mission reading.
             pending_compaction_bytes: end_snapshots

@@ -187,6 +187,11 @@ pub struct TreeStatsSnapshot {
     /// backstop plus L0 backpressure stalls in background mode. Measured
     /// elapsed time on the tree's clock, never an extra charge.
     pub stall_ns: u64,
+    /// Real wall-clock ns acknowledged writes spent waiting in a serving
+    /// frontend's per-shard admission queue before the tree executed them
+    /// (0 outside serving). Kept apart from the virtual `stall_ns`:
+    /// queue wait is scheduling delay, not device work.
+    pub queue_stall_ns: u64,
     /// Background maintenance steps that restructured the tree (deferred
     /// merges applied and trivial moves committed).
     pub bg_compactions: u64,
@@ -244,6 +249,7 @@ impl TreeStatsSnapshot {
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
             stall_ns: self.stall_ns.saturating_sub(earlier.stall_ns),
+            queue_stall_ns: self.queue_stall_ns.saturating_sub(earlier.queue_stall_ns),
             bg_compactions: self.bg_compactions.saturating_sub(earlier.bg_compactions),
             // A gauge: the delta window ends at `self`, so its end-state
             // debt is the meaningful reading.
@@ -291,6 +297,7 @@ impl TreeStatsSnapshot {
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
             stall_ns: self.stall_ns + other.stall_ns,
+            queue_stall_ns: self.queue_stall_ns + other.queue_stall_ns,
             bg_compactions: self.bg_compactions + other.bg_compactions,
             pending_compaction_bytes: self.pending_compaction_bytes
                 + other.pending_compaction_bytes,

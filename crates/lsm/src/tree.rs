@@ -166,6 +166,11 @@ pub struct FlsmTree {
     /// Virtual ns the write path spent blocked on structural work
     /// (flushes triggered by `put`/`delete`, backpressure stalls).
     stall_ns: u64,
+    /// Real ns acknowledged writes spent queued before this tree executed
+    /// them (serving-frontend admission queues; 0 outside serving). A
+    /// wall-clock reading, kept apart from the virtual `stall_ns` so the
+    /// device model's accounting stays exact.
+    queue_stall_ns: u64,
     /// Structural steps completed by background maintenance (applied
     /// merges and trivial moves).
     bg_compactions: u64,
@@ -229,6 +234,7 @@ impl FlsmTree {
             retired: Vec::new(),
             pending_compaction: None,
             stall_ns: 0,
+            queue_stall_ns: 0,
             bg_compactions: 0,
             runs_recovered: 0,
             replayed_tail: 0,
@@ -476,6 +482,16 @@ impl FlsmTree {
         let before = self.storage.clock().now_ns();
         let synced = self.commit_wal()?;
         Ok((synced, self.storage.clock().now_ns() - before))
+    }
+
+    /// Attributes real wall-clock ns that acknowledged writes spent queued
+    /// before this tree executed them (the serving frontend's per-shard
+    /// admission queues). The reading flows into
+    /// [`TreeStatsSnapshot::queue_stall_ns`] and the mission report but
+    /// never into the virtual clock — queue wait is scheduling delay, not
+    /// device work.
+    pub fn note_queue_stall_ns(&mut self, ns: u64) {
+        self.queue_stall_ns += ns;
     }
 
     /// The tree's configuration.
@@ -1343,6 +1359,7 @@ impl FlsmTree {
             cache_misses: io.cache_misses,
             cache_evictions: io.cache_evictions,
             stall_ns: self.stall_ns,
+            queue_stall_ns: self.queue_stall_ns,
             bg_compactions: self.bg_compactions,
             pending_compaction_bytes: self.pending_compaction_bytes(),
             levels: self.level_stats.iter().map(LevelStats::snapshot).collect(),

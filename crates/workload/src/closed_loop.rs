@@ -1,0 +1,155 @@
+//! Closed-loop multi-client workload scripts (the YCSB-style serving
+//! driver).
+//!
+//! A closed-loop client issues one operation, waits for its reply, then
+//! issues the next — `K` such clients drive a serving frontend at
+//! concurrency `K`. This module generates **deterministic per-client
+//! scripts over disjoint key ranges**: the key space is split into `K`
+//! contiguous slices, client `i` only ever writes inside slice `i`
+//! (reads and scans may bleed past a slice edge — reads don't affect
+//! state), so *every* interleaving of the scripts drives the store to
+//! the same final contents. That is what lets the serving equivalence
+//! harness replay the same scripts single-threaded through missions and
+//! demand an identical final get/scan state, no matter how the
+//! concurrent run's operations actually interleaved.
+
+use bytes::Bytes;
+
+use crate::generator::{decode_key, encode_key, OpGenerator, WorkloadSpec};
+use crate::ops::Operation;
+
+/// The key-id range `[lo, hi)` owned by one client: an even contiguous
+/// split of `key_space`, earlier clients absorbing the remainder.
+///
+/// # Panics
+/// Panics if `clients` is zero, `client` is out of range, or the key
+/// space has fewer ids than clients (an empty slice can't host writes).
+pub fn client_key_range(key_space: u64, clients: usize, client: usize) -> (u64, u64) {
+    assert!(clients >= 1, "need at least one client");
+    assert!(client < clients, "client index out of range");
+    let clients = clients as u64;
+    assert!(
+        key_space >= clients,
+        "key space smaller than the client count leaves empty slices"
+    );
+    let (q, r) = (key_space / clients, key_space % clients);
+    let c = client as u64;
+    let lo = c * q + c.min(r);
+    let hi = lo + q + u64::from(c < r);
+    (lo, hi)
+}
+
+/// Rebases one operation's keys from a client's private `[0, span)` id
+/// space into its slice of the global key space.
+fn rebase(op: Operation, offset: u64, key_len: usize) -> Operation {
+    let shift = |key: &Bytes| encode_key(decode_key(key) + offset, key_len);
+    match op {
+        Operation::Get { key } => Operation::Get { key: shift(&key) },
+        Operation::Put { key, value } => Operation::Put {
+            key: shift(&key),
+            value,
+        },
+        Operation::Delete { key } => Operation::Delete { key: shift(&key) },
+        Operation::Scan { start, end, limit } => Operation::Scan {
+            start: shift(&start),
+            end: shift(&end),
+            limit,
+        },
+    }
+}
+
+/// Generates `clients` deterministic operation scripts of
+/// `ops_per_client` each over disjoint slices of `workload.key_space`
+/// (same inputs ⇒ same scripts). Each client's sub-generator draws from
+/// the same distribution and mix as `workload`, restricted to its slice;
+/// zero-result lookups are disabled (an id past one slice is a live key
+/// of the next).
+pub fn client_scripts(
+    workload: &WorkloadSpec,
+    clients: usize,
+    ops_per_client: usize,
+    seed: u64,
+) -> Vec<Vec<Operation>> {
+    (0..clients)
+        .map(|c| {
+            let (lo, hi) = client_key_range(workload.key_space, clients, c);
+            let span = hi - lo;
+            let mut sub = workload.clone();
+            sub.key_space = span;
+            sub.zero_result_fraction = 0.0;
+            sub.scan_span = workload.scan_span.min(span);
+            // Decorrelate the per-client streams without making them
+            // depend on the client count (Weyl increment).
+            let client_seed = seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut g = OpGenerator::new(sub, client_seed);
+            g.take_ops(ops_per_client)
+                .into_iter()
+                .map(|op| rebase(op, lo, workload.key_len))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpMix;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::scaled_default(1000).with_mix(OpMix {
+            lookup: 0.4,
+            update: 0.4,
+            delete: 0.1,
+            scan: 0.1,
+        })
+    }
+
+    #[test]
+    fn ranges_partition_the_key_space() {
+        for (key_space, clients) in [(1000u64, 4usize), (1001, 4), (7, 7), (10, 3)] {
+            let mut next = 0u64;
+            for c in 0..clients {
+                let (lo, hi) = client_key_range(key_space, clients, c);
+                assert_eq!(lo, next, "slices must be contiguous");
+                assert!(hi > lo, "slices must be non-empty");
+                next = hi;
+            }
+            assert_eq!(next, key_space, "slices must cover the space");
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_sized() {
+        let a = client_scripts(&spec(), 4, 50, 9);
+        let b = client_scripts(&spec(), 4, 50, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|s| s.len() == 50));
+        let c = client_scripts(&spec(), 4, 50, 10);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn writes_stay_inside_each_clients_slice() {
+        let s = spec();
+        let scripts = client_scripts(&s, 4, 200, 3);
+        for (c, script) in scripts.iter().enumerate() {
+            let (lo, hi) = client_key_range(s.key_space, 4, c);
+            for op in script {
+                if let Operation::Put { key, .. } | Operation::Delete { key } = op {
+                    let id = decode_key(key);
+                    assert!(
+                        (lo..hi).contains(&id),
+                        "client {c} wrote id {id} outside [{lo}, {hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the client count")]
+    fn tiny_key_space_is_rejected() {
+        client_key_range(3, 4, 0);
+    }
+}

@@ -16,10 +16,15 @@
 //!   balanced → write-heavy → write-inclined → read-inclined);
 //! * [`ycsb`] — presets for the paper's mixes and the YCSB A/B/C standards;
 //! * [`routing`] — stable hash routing of operations onto the shards of a
-//!   sharded store (point ops to one shard, scans broadcast).
+//!   sharded store (point ops to one shard, scans broadcast);
+//! * [`closed_loop`] — deterministic per-client scripts over disjoint key
+//!   ranges, driving the concurrent serving frontend at concurrency `K`
+//!   while keeping every interleaving equivalent to a single-threaded
+//!   replay.
 
 #![warn(missing_docs)]
 
+pub mod closed_loop;
 pub mod dist;
 pub mod dynamic;
 pub mod generator;
@@ -28,6 +33,7 @@ pub mod ops;
 pub mod routing;
 pub mod ycsb;
 
+pub use closed_loop::{client_key_range, client_scripts};
 pub use dist::KeyDistribution;
 pub use dynamic::{DynamicWorkload, Session};
 pub use generator::{bulk_load_pairs, encode_key, OpGenerator, WorkloadSpec};

@@ -217,6 +217,49 @@
 //! and the `repro compaction --json` experiment, whose `compaction_ok`
 //! verdict CI greps: background p99 op latency must not exceed inline
 //! p99 on a write-heavy mix, with zero read divergence.
+//!
+//! # Serving: many concurrent clients, one engine
+//!
+//! [`ruskey::frontend::ServingFrontend`]
+//! ([`ShardedRusKey::serve`](ruskey::sharded::ShardedRusKey::serve))
+//! turns the store into a `Send + Sync` service handle: any number of
+//! [`ruskey::frontend::ServingClient`]s submit get/put/delete/scan
+//! concurrently through **bounded per-shard MPSC queues**, and each
+//! shard's persistent worker drains its queue in batches — reads reply
+//! immediately (per-shard FIFO makes read-your-writes structural),
+//! writes in a batch share **one** WAL commit leg, and bounded
+//! maintenance steps interleave between batches exactly as on the
+//! mission path. The batch commit is the cross-*client* group commit:
+//! requests arriving while a commit leg runs form the next batch, so
+//! under concurrency the fsync amortizes over clients (mean writes per
+//! commit > 1 at clients ≫ shards, pinned by `repro serve`).
+//! Overload is handled at admission, not by unbounded queues: a token
+//! bucket ([`ruskey::frontend::ServingConfig`]) rejects with a
+//! `retry_after` hint (a rejected op is never executed), and a full
+//! queue blocks the submitter with the wait recorded as `stall_ns`.
+//! Live counters, queue-depth gauges, and power-of-two histograms are
+//! snapshotted wait-free and render in the Prometheus text format
+//! ([`ruskey::frontend::MetricsSnapshot::render_prometheus`]).
+//!
+//! Ad-hoc operations on the store itself (`get`/`put`/`delete`/`scan`
+//! outside missions and serving sessions) route through the same shard
+//! workers, so they share the mission path's time-domain attribution
+//! and — the backpressure contract — interleave bounded maintenance on
+//! write boundaries; an ad-hoc write burst in background mode keeps L0
+//! bounded by `l0_stall_runs` and records its waits as `stall_ns`
+//! (`tests/background_maintenance.rs`), and ad-hoc scans fan out on the
+//! workers with exact per-shard accounting (`tests/time_domains.rs`).
+//!
+//! The serving contract is pinned by `tests/serving.rs` — K-client
+//! equivalence to a single-threaded replay at `N ∈ {1, 2, 4}`,
+//! read-your-writes under concurrency, a mid-serve [`lsm::CrashPoint`]
+//! crash losing no acknowledged write, and a proptest that admission
+//! rejections never drop an acknowledged op — and by the closed-loop
+//! multi-client driver `repro serve --json` (YCSB-style mixed workload,
+//! p50/p99/p999 and throughput per row), whose `serve_ok` verdict CI
+//! greps: zero divergence from the shadow model, writes-per-commit
+//! coalescing above 1 at clients ≫ shards, crash durability, and
+//! admission accounting must all hold.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;

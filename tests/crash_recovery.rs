@@ -879,6 +879,18 @@ fn manifest_crash_points_with_a_background_merge_in_flight() {
         }
         db.group_commit();
 
+        // Ad-hoc writes now interleave boundary maintenance on the shard
+        // workers, draining debt as the load runs — so seal fresh L0
+        // runs directly on the tree (same keys, same values) to leave a
+        // merge for the stepping loop to catch mid-flight.
+        for chunk in 0..4u64 {
+            let per = KEYS / 4;
+            for i in chunk * per..(chunk + 1) * per {
+                db.shard_mut(0).put(key(i), val(i));
+            }
+            db.shard_mut(0).flush();
+        }
+
         // Step the deferred work until a merge is built and in flight.
         let mut saw_pending = false;
         for _ in 0..200 {

@@ -149,6 +149,61 @@ fn merged_snapshot_composes_exact_shard_parts() {
     }
 }
 
+/// Ad-hoc operations run on the shard workers with the same domain
+/// attribution as the mission path: after an ad-hoc stream (scans
+/// fanning out to every shard, point ops routed to their owner), every
+/// shard's statistics — including `lookup_ns` per level — are
+/// bit-identical to a single-shard store replaying that shard's lane of
+/// the same stream ad hoc. Before the workers served ad-hoc traffic,
+/// scan fan-out charged the submitting thread's view and broke this.
+#[test]
+fn adhoc_ops_attribute_time_to_their_own_domains() {
+    for &n in &[2usize, 4] {
+        let pairs = bulk_load_pairs(2000, 16, 48, 7);
+        let mut sharded = ShardedRusKey::untuned(small_cfg(), n, disk());
+        sharded.bulk_load(pairs.clone());
+
+        let mut g = OpGenerator::new(mixed_spec(2000), 23);
+        let ops = g.take_ops(1200);
+        for op in &ops {
+            apply_adhoc(&mut sharded, op);
+        }
+
+        for shard in 0..n {
+            let mut single = ShardedRusKey::untuned(small_cfg(), 1, disk());
+            single.bulk_load(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| shard_for_key(k, n) == shard)
+                    .cloned()
+                    .collect(),
+            );
+            for op in partition_ops(&ops, n)[shard].iter() {
+                apply_adhoc(&mut single, op);
+            }
+            assert_eq!(
+                sharded.shard(shard).stats(),
+                single.shard(0).stats(),
+                "shards={n} shard={shard}: ad-hoc per-shard accounting \
+                 diverged from the single-threaded lane replay"
+            );
+        }
+    }
+}
+
+fn apply_adhoc(db: &mut ShardedRusKey, op: &Operation) {
+    match op {
+        Operation::Get { key } => {
+            db.get(key);
+        }
+        Operation::Put { key, value } => db.put(key.clone(), value.clone()),
+        Operation::Delete { key } => db.delete(key.clone()),
+        Operation::Scan { start, end, limit } => {
+            db.scan(start, end, *limit);
+        }
+    }
+}
+
 fn arb_snapshot() -> impl Strategy<Value = TreeStatsSnapshot> {
     (
         (0u64..1000, 0u64..1000, 0u64..100),
