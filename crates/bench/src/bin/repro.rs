@@ -6,7 +6,7 @@
 //! experiments:
 //!   table2  fig6  fig7  table3  fig8  fig9  fig10  fig11  fig12  fig13
 //!   bruteforce  shard_scaling  durability  persistence  read_path
-//!   compaction  serve  all  ablations  lab
+//!   compaction  serve  tuning  all  ablations  lab
 //! ```
 //!
 //! Results print as aligned text tables; `--csv DIR` additionally writes
@@ -563,6 +563,66 @@ fn run_serve(scale: &ExperimentScale, scale_label: &str, json_path: &Option<Stri
     println!();
 }
 
+fn run_tuning(scale: &ExperimentScale, scale_label: &str, json_path: &Option<String>) {
+    println!("== Tuning: per-shard vs global Lerp + hot-shard mitigation ==");
+    let v = tuning(scale);
+    println!(
+        "{:<10}{:<11}{:<8}{:>10}{:>12}{:>18}{:>10}{:>18}{:>10}",
+        "workload",
+        "strategy",
+        "shards",
+        "missions",
+        "ops",
+        "tail ns/op",
+        "tuned",
+        "final K(L1)",
+        "distinct"
+    );
+    for r in &v.rows {
+        let k1: Vec<String> = r.final_k1.iter().map(|k| k.to_string()).collect();
+        println!(
+            "{:<10}{:<11}{:<8}{:>10}{:>12}{:>18.1}{:>10}{:>18}{:>10}",
+            r.workload,
+            r.strategy,
+            r.shards,
+            r.missions,
+            r.ops_total,
+            r.tail_ns_per_op,
+            r.tuned_missions,
+            format!("[{}]", k1.join(",")),
+            r.distinct_policies
+        );
+    }
+    println!(
+        "{:<12}{:>16}{:>16}{:>16}{:>14}{:>12}",
+        "mitigation", "mean imbal", "peak imbal", "final imbal", "rebalances", "rehomed"
+    );
+    for r in &v.mitigation {
+        println!(
+            "{:<12}{:>16.3}{:>16.3}{:>16.3}{:>14}{:>12}",
+            if r.balanced { "armed" } else { "disarmed" },
+            r.mean_imbalance,
+            r.peak_imbalance,
+            r.final_imbalance,
+            r.rebalances,
+            r.rehomed_keys
+        );
+    }
+    println!(
+        "  parity_ok={} (uniform ratio {:.3})   skew_ok={}   mitigation_ok={}   tuned_ok={}   tuning_ok={}",
+        v.parity_ok, v.uniform_ratio, v.skew_ok, v.mitigation_ok, v.tuned_ok, v.ok
+    );
+    let path = json_path
+        .clone()
+        .unwrap_or_else(|| "tuning.json".to_string());
+    let json = tuning_json(scale_label, &v);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  [json] {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn run_bruteforce(scale: &ExperimentScale) {
     println!("== Brute-force learning comparison (write-heavy workload) ==");
     for r in bruteforce(scale) {
@@ -657,6 +717,7 @@ fn main() {
         || want("read_path")
         || want("compaction")
         || want("serve")
+        || want("tuning")
     {
         let label = match scale.load_entries {
             n if n >= 200_000 => "full",
@@ -708,6 +769,14 @@ fn main() {
                 &None
             };
             run_serve(scale, label, json);
+        }
+        if want("tuning") {
+            let json = if args.experiment == "tuning" {
+                &args.json_path
+            } else {
+                &None
+            };
+            run_tuning(scale, label, json);
         }
     }
     if args.experiment == "ablations" {

@@ -18,6 +18,7 @@ pub mod persistence;
 pub mod read_path;
 pub mod scaling;
 pub mod serve;
+pub mod tuning;
 
 /// Serializes the unit tests that measure *real* time or spawn client
 /// threads (read-path latency ordering, the serving experiment): run
@@ -44,3 +45,4 @@ pub use persistence::*;
 pub use read_path::*;
 pub use scaling::*;
 pub use serve::*;
+pub use tuning::*;

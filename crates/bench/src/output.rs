@@ -7,6 +7,7 @@ use crate::persistence::PersistenceRow;
 use crate::read_path::ReadPathRow;
 use crate::scaling::ShardScalingRow;
 use crate::serve::ServeVerdict;
+use crate::tuning::TuningVerdict;
 
 /// Renders a mission-series comparison as CSV: `mission,method,...`.
 pub fn series_csv(series: &[Series]) -> String {
@@ -385,6 +386,64 @@ pub fn serve_json(scale_label: &str, v: &ServeVerdict) -> String {
     out
 }
 
+/// Renders the per-shard-tuning experiment as machine-readable JSON.
+/// Each tuning row carries the converged-tail metric
+/// (`tail_ns_per_op`), the non-vacuity counter (`tuned_missions`), and
+/// the visible specialization (`final_k1`, `distinct_policies`); the
+/// mitigation rows carry the imbalance trajectory and migration
+/// counters. The verdict legs — `parity_ok`, `skew_ok`,
+/// `mitigation_ok`, `tuned_ok` — conjoin into the top-level
+/// `tuning_ok` flag CI greps as a smoke check.
+pub fn tuning_json(scale_label: &str, v: &TuningVerdict) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"tuning\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_label)));
+    out.push_str(&format!("  \"tuning_ok\": {},\n", v.ok));
+    out.push_str(&format!("  \"parity_ok\": {},\n", v.parity_ok));
+    out.push_str(&format!("  \"skew_ok\": {},\n", v.skew_ok));
+    out.push_str(&format!("  \"mitigation_ok\": {},\n", v.mitigation_ok));
+    out.push_str(&format!("  \"tuned_ok\": {},\n", v.tuned_ok));
+    out.push_str(&format!("  \"uniform_ratio\": {:.4},\n", v.uniform_ratio));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in v.rows.iter().enumerate() {
+        let k1: Vec<String> = r.final_k1.iter().map(|k| k.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"shards\": {}, \
+             \"missions\": {}, \"ops_total\": {}, \"tail_ns_per_op\": {:.1}, \
+             \"tuned_missions\": {}, \"final_k1\": [{}], \
+             \"distinct_policies\": {}}}{}\n",
+            r.workload,
+            r.strategy,
+            r.shards,
+            r.missions,
+            r.ops_total,
+            r.tail_ns_per_op,
+            r.tuned_missions,
+            k1.join(", "),
+            r.distinct_policies,
+            if i + 1 < v.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"mitigation\": [\n");
+    for (i, r) in v.mitigation.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"balanced\": {}, \"mean_imbalance\": {:.4}, \
+             \"peak_imbalance\": {:.4}, \"final_imbalance\": {:.4}, \
+             \"rebalances\": {}, \"rehomed_keys\": {}}}{}\n",
+            r.balanced,
+            r.mean_imbalance,
+            r.peak_imbalance,
+            r.final_imbalance,
+            r.rebalances,
+            r.rehomed_keys,
+            if i + 1 < v.mitigation.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -712,6 +771,79 @@ mod tests {
         assert!(bad_json.contains("\"crash_ok\": false"));
         assert!(bad_json.contains("\"admission_ok\": true"));
         // Balanced braces/brackets, no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn tuning_json_carries_all_verdict_legs() {
+        use crate::tuning::{MitigationRow, TuningRow, TuningVerdict};
+        let row = |workload: &'static str, strategy: &'static str, tail: f64| TuningRow {
+            workload,
+            strategy,
+            shards: 4,
+            missions: 24,
+            ops_total: 4800,
+            tail_ns_per_op: tail,
+            tuned_missions: 12,
+            final_k1: vec![1, 1, 9, 1],
+            distinct_policies: if strategy == "per_shard" { 2 } else { 1 },
+        };
+        let v = TuningVerdict {
+            rows: vec![
+                row("uniform", "global", 1000.0),
+                row("uniform", "per_shard", 1020.0),
+                row("skewed", "global", 1500.0),
+                row("skewed", "per_shard", 1400.0),
+            ],
+            mitigation: vec![
+                MitigationRow {
+                    balanced: false,
+                    mean_imbalance: 3.4,
+                    peak_imbalance: 3.8,
+                    final_imbalance: 3.5,
+                    rebalances: 0,
+                    rehomed_keys: 0,
+                },
+                MitigationRow {
+                    balanced: true,
+                    mean_imbalance: 1.6,
+                    peak_imbalance: 3.8,
+                    final_imbalance: 1.1,
+                    rebalances: 3,
+                    rehomed_keys: 8,
+                },
+            ],
+            uniform_ratio: 1.02,
+            parity_ok: true,
+            skew_ok: true,
+            mitigation_ok: true,
+            tuned_ok: true,
+            ok: true,
+        };
+        let json = tuning_json("tiny", &v);
+        assert!(json.contains("\"experiment\": \"tuning\""));
+        assert!(json.contains("\"tuning_ok\": true"));
+        assert!(json.contains("\"parity_ok\": true"));
+        assert!(json.contains("\"skew_ok\": true"));
+        assert!(json.contains("\"mitigation_ok\": true"));
+        assert!(json.contains("\"uniform_ratio\": 1.0200"));
+        assert!(json.contains("\"final_k1\": [1, 1, 9, 1]"));
+        assert_eq!(json.matches("\"tail_ns_per_op\":").count(), 4);
+        assert_eq!(json.matches("\"mean_imbalance\":").count(), 2);
+        assert_eq!(json.matches("\"rebalances\":").count(), 2);
+        // A failed leg flips only the verdicts it feeds.
+        let bad = TuningVerdict {
+            skew_ok: false,
+            ok: false,
+            ..v
+        };
+        let bad_json = tuning_json("tiny", &bad);
+        assert!(bad_json.contains("\"tuning_ok\": false"));
+        assert!(bad_json.contains("\"skew_ok\": false"));
+        assert!(bad_json.contains("\"parity_ok\": true"));
+        // Balanced braces/brackets, no trailing comma before a close.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));

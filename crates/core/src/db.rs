@@ -260,6 +260,7 @@ impl RusKey {
             self.tree.set_policy(level, k)
         });
         report.policies_after = self.tree.policies();
+        report.shard_policies_after = vec![self.tree.policies()];
         self.last_report = Some(report.clone());
         report
     }

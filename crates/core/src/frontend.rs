@@ -70,7 +70,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ruskey_lsm::FlsmTree;
-use ruskey_workload::routing::shard_for_key;
+use ruskey_workload::routing::RoutingTable;
 
 use crate::sharded::merge_sorted_scans;
 
@@ -323,6 +323,7 @@ pub struct ServingMetrics {
     acked_writes: AtomicU64,
     batches: AtomicU64,
     queue_depth: Vec<AtomicU64>,
+    shard_ops: Vec<AtomicU64>,
     batch_writes: Histogram,
     commit_ns: Histogram,
     next_client: AtomicU64,
@@ -344,6 +345,7 @@ impl ServingMetrics {
             acked_writes: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_ops: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             batch_writes: Histogram::new(),
             commit_ns: Histogram::new(),
             next_client: AtomicU64::new(0),
@@ -375,6 +377,7 @@ impl ServingMetrics {
             acked_writes: self.acked_writes.load(RLX),
             batches: self.batches.load(RLX),
             queue_depth: self.queue_depth.iter().map(|d| d.load(RLX)).collect(),
+            shard_ops: self.shard_ops.iter().map(|d| d.load(RLX)).collect(),
             batch_writes: self.batch_writes.snapshot(),
             commit_ns: self.commit_ns.snapshot(),
             clients: self
@@ -419,6 +422,9 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Per-shard queue depth at snapshot time.
     pub queue_depth: Vec<u64>,
+    /// Requests executed per shard since the session started (scan legs
+    /// count once per shard they touch) — the hot-shard skew signal.
+    pub shard_ops: Vec<u64>,
     /// Writes covered per commit leg — the cross-client group-commit
     /// coalescing histogram; `mean()` > 1 means coalescing happened.
     pub batch_writes: HistogramSnapshot,
@@ -440,6 +446,17 @@ impl MetricsSnapshot {
         self.batch_writes.mean()
     }
 
+    /// Hottest-shard load as a multiple of the mean shard load (1.0 is
+    /// perfectly balanced; 0.0 before any request executed).
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shard_ops.iter().sum();
+        if self.shard_ops.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let max = *self.shard_ops.iter().max().unwrap() as f64;
+        max / (total as f64 / self.shard_ops.len() as f64)
+    }
+
     /// Renders the registry in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
@@ -457,6 +474,9 @@ impl MetricsSnapshot {
         counter("commit_batches_total", "", self.batches);
         for (i, d) in self.queue_depth.iter().enumerate() {
             counter("queue_depth", &format!("{{shard=\"{i}\"}}"), *d);
+        }
+        for (i, d) in self.shard_ops.iter().enumerate() {
+            counter("shard_ops_total", &format!("{{shard=\"{i}\"}}"), *d);
         }
         counter("batch_writes_sum", "", self.batch_writes.sum);
         counter("batch_writes_count", "", self.batch_writes.count);
@@ -518,15 +538,20 @@ pub(crate) struct ServeShared {
     pub(crate) cfg: ServingConfig,
     pub(crate) metrics: Arc<ServingMetrics>,
     pub(crate) bucket: Arc<TokenBucket>,
+    /// Frozen copy of the store's key re-homing overrides: clients must
+    /// route exactly like the mission path or re-homed keys would read
+    /// from the wrong shard.
+    pub(crate) routes: RoutingTable,
 }
 
 impl ServeShared {
-    pub(crate) fn new(cfg: ServingConfig, shards: usize) -> Self {
+    pub(crate) fn new(cfg: ServingConfig, shards: usize, routes: RoutingTable) -> Self {
         let bucket = Arc::new(TokenBucket::new(cfg.rate_limit_per_sec, cfg.burst));
         Self {
             cfg,
             metrics: Arc::new(ServingMetrics::new(shards)),
             bucket,
+            routes,
         }
     }
 }
@@ -564,6 +589,7 @@ pub(crate) fn serve_shard(
             match req {
                 ShardRequest::Get { key, reply } => {
                     m.queue_depth[shard].fetch_sub(1, RLX);
+                    m.shard_ops[shard].fetch_add(1, RLX);
                     let _ = reply.send(Reply::Value(tree.get(&key)));
                 }
                 ShardRequest::Scan {
@@ -573,6 +599,7 @@ pub(crate) fn serve_shard(
                     reply,
                 } => {
                     m.queue_depth[shard].fetch_sub(1, RLX);
+                    m.shard_ops[shard].fetch_add(1, RLX);
                     let _ = reply.send(Reply::Scan(tree.scan(&start, &end, limit)));
                 }
                 ShardRequest::Put {
@@ -582,6 +609,7 @@ pub(crate) fn serve_shard(
                     enqueued,
                 } => {
                     m.queue_depth[shard].fetch_sub(1, RLX);
+                    m.shard_ops[shard].fetch_add(1, RLX);
                     tree.note_queue_stall_ns(enqueued.elapsed().as_nanos() as u64);
                     tree.put(key, value);
                     writes += 1;
@@ -593,6 +621,7 @@ pub(crate) fn serve_shard(
                     enqueued,
                 } => {
                     m.queue_depth[shard].fetch_sub(1, RLX);
+                    m.shard_ops[shard].fetch_add(1, RLX);
                     tree.note_queue_stall_ns(enqueued.elapsed().as_nanos() as u64);
                     tree.delete(key);
                     writes += 1;
@@ -748,7 +777,7 @@ impl ServingClient {
         self.admit()?;
         self.shared.metrics.gets.fetch_add(1, RLX);
         self.counters.gets.fetch_add(1, RLX);
-        let shard = shard_for_key(key, self.senders.len());
+        let shard = self.shared.routes.shard_for(key, self.senders.len());
         let (tx, rx) = mpsc::channel();
         self.submit(
             shard,
@@ -773,7 +802,7 @@ impl ServingClient {
         self.shared.metrics.puts.fetch_add(1, RLX);
         self.counters.puts.fetch_add(1, RLX);
         let key = key.into();
-        let shard = shard_for_key(&key, self.senders.len());
+        let shard = self.shared.routes.shard_for(&key, self.senders.len());
         let (tx, rx) = mpsc::channel();
         self.submit(
             shard,
@@ -794,7 +823,7 @@ impl ServingClient {
         self.shared.metrics.deletes.fetch_add(1, RLX);
         self.counters.deletes.fetch_add(1, RLX);
         let key = key.into();
-        let shard = shard_for_key(&key, self.senders.len());
+        let shard = self.shared.routes.shard_for(&key, self.senders.len());
         let (tx, rx) = mpsc::channel();
         self.submit(
             shard,
@@ -927,12 +956,16 @@ mod tests {
         m.gets.fetch_add(3, RLX);
         m.puts.fetch_add(2, RLX);
         m.queue_depth[1].fetch_add(7, RLX);
+        m.shard_ops[0].fetch_add(1, RLX);
+        m.shard_ops[1].fetch_add(5, RLX);
         m.batch_writes.observe(4);
         let (id, c) = m.register_client();
         c.puts.fetch_add(2, RLX);
         let s = m.snapshot();
         assert_eq!(s.requests(), 5);
         assert_eq!(s.queue_depth, vec![0, 7]);
+        assert_eq!(s.shard_ops, vec![1, 5]);
+        assert!((s.shard_imbalance() - 5.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.mean_batch_writes(), 4.0);
         assert_eq!(s.clients.len(), 1);
         assert_eq!(s.clients[0].id, id);
@@ -940,7 +973,13 @@ mod tests {
         let text = s.render_prometheus();
         assert!(text.contains("ruskey_serving_requests_total{kind=\"get\"} 3"));
         assert!(text.contains("ruskey_serving_queue_depth{shard=\"1\"} 7"));
+        assert!(text.contains("ruskey_serving_shard_ops_total{shard=\"0\"} 1"));
         assert!(text.contains("ruskey_serving_batch_writes_sum 4"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_imbalance() {
+        assert_eq!(MetricsSnapshot::default().shard_imbalance(), 0.0);
     }
 
     #[test]

@@ -9,12 +9,32 @@
 //! the stable key hash of [`ruskey_workload::routing`]. Cross-shard range
 //! scans are k-way merged back into one sorted result.
 //!
-//! Tuning stays *global*, exactly as in the paper: per-shard
-//! [`TreeStatsSnapshot`]s are merged into one store-wide view, a single
-//! [`Tuner`] (Lerp or a baseline) observes the aggregated
-//! [`MissionReport`]/[`TreeObservation`], and its policy changes fan out
-//! to every shard. A one-shard store is behaviourally identical to
+//! Tuning runs under a [`TunerStrategy`]. **Global** (the default, the
+//! paper's single-tree loop): per-shard [`TreeStatsSnapshot`]s merge
+//! into one store-wide view, a single [`Tuner`] (Lerp or a baseline)
+//! observes the aggregated [`MissionReport`]/[`TreeObservation`], and
+//! its policy changes fan out to every shard. **Per-shard**
+//! ([`ShardedRusKey::try_with_per_shard_lerp`]): every shard owns its
+//! own tuner, fed by that shard's *own* reward slice (its time-domain
+//! delta, not an ops-weighted average that lets idle siblings mask a
+//! saturated shard) and its own observation, with policy changes
+//! applied only to the owning shard — so under skew each shard's tree
+//! converges to *its* workload. At `N = 1` the two strategies are
+//! bit-identical (`tests/tuning_equivalence.rs` pins it), and a
+//! one-shard store is behaviourally identical to
 //! [`RusKey`](crate::db::RusKey) — all paper experiments remain valid.
+//!
+//! Orthogonally, [`ShardedRusKey::enable_balancing`] arms **hot-shard
+//! mitigation**: a decayed [`LoadSketch`] (per-shard op counters + a
+//! Misra–Gries heavy-hitter summary) watches the point-op stream, and
+//! when one shard's load exceeds the configured imbalance threshold the
+//! store *re-homes* its heaviest keys to the coldest shard through a
+//! [`RoutingTable`] consulted by every point-op path (missions, ad-hoc
+//! ops, the serving frontend). Migration is crash-safe on a durable
+//! store: the routes file is written atomically *before* any data
+//! moves, each key is copied to its new home and group-committed before
+//! the original is tombstoned, and recovery settles half-finished moves
+//! from the routes file (all three crash states are idempotent).
 //!
 //! ## The worker pool: lifecycle, shutdown, panic policy
 //!
@@ -146,7 +166,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use ruskey_lsm::{ConfigError, FlsmTree, Manifest, TreeStatsSnapshot, Wal};
 use ruskey_storage::{BlockCache, CostModel, FileDisk, ShardStorage, Storage};
-use ruskey_workload::routing::{partition_ops_owned, shard_for_key};
+use ruskey_workload::routing::{shard_for_key, BalanceConfig, LoadSketch, RoutingTable};
 use ruskey_workload::Operation;
 
 use crate::db::{execute_op, RusKeyConfig};
@@ -419,6 +439,33 @@ pub struct CommitStats {
     /// Shards that actually issued an fsync (shards with nothing
     /// unacknowledged skip theirs).
     pub syncs: u64,
+}
+
+/// How a sharded store's learned tuning is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TunerStrategy {
+    /// One tuner observes the shard-merged statistics and fans its
+    /// policy changes out to every shard — the paper's single-tree
+    /// tuning loop, unchanged.
+    #[default]
+    Global,
+    /// Every shard owns its own tuner, fed by that shard's own reward
+    /// slice and observation; policy changes apply only to the owning
+    /// shard, so per-shard policies may diverge under skew.
+    PerShard,
+}
+
+/// The store's tuner(s), shaped by its [`TunerStrategy`].
+enum Tuning {
+    Global(Box<dyn Tuner>),
+    /// One tuner per shard, in shard order.
+    PerShard(Vec<Box<dyn Tuner>>),
+}
+
+/// Hot-shard mitigation state: the detection sketch plus its knobs.
+struct Balancer {
+    cfg: BalanceConfig,
+    sketch: LoadSketch,
 }
 
 /// Ad-hoc writes per shard between boundary maintenance grants on the
@@ -715,7 +762,7 @@ pub struct ShardedRusKey {
     /// panicked and took the tree with it.
     shards: Vec<Option<FlsmTree>>,
     pool: WorkerPool,
-    tuner: Box<dyn Tuner>,
+    tuning: Tuning,
     collector: StatsCollector,
     last_report: Option<MissionReport>,
     /// The OS thread that served each shard in the last pool dispatch, in
@@ -735,6 +782,21 @@ pub struct ShardedRusKey {
     /// enqueuing anything, so a dead engine applies at most one partial
     /// batch (the dispatch that discovered the death) and never more.
     dead_worker: Option<usize>,
+    /// Per-key routing overrides (re-homed hot keys). Empty — pure hash
+    /// routing — until the balancer moves something.
+    routes: RoutingTable,
+    /// For each override, the shard the key was last migrated *from*
+    /// (its previous route). Persisted alongside the override so
+    /// recovery knows where a half-copied value still lives even after
+    /// a chain of migrations has moved the key far from its hash home.
+    route_sources: std::collections::HashMap<Bytes, usize>,
+    /// Hot-shard mitigation, armed by [`ShardedRusKey::enable_balancing`].
+    balancer: Option<Balancer>,
+    /// Balancing passes that actually migrated keys.
+    rebalances: u64,
+    /// Where the routing overrides persist (durable/persistent stores
+    /// only); `None` keeps them in memory.
+    routes_path: Option<PathBuf>,
 }
 
 impl ShardedRusKey {
@@ -763,17 +825,87 @@ impl ShardedRusKey {
                 FlsmTree::try_new(cfg.lsm.clone(), view).map(Some)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
+        Ok(Self::assemble(trees, Tuning::Global(tuner)))
+    }
+
+    /// Creates a sharded store with **one tuner per shard** — one shard
+    /// per element of `tuners`, in shard order. Each tuner sees only its
+    /// own shard's reward slice and observation, and its policy changes
+    /// apply only to that shard.
+    ///
+    /// # Panics
+    /// Panics if `tuners` is empty.
+    pub fn try_with_tuners(
+        cfg: RusKeyConfig,
+        storage: Arc<dyn Storage>,
+        tuners: Vec<Box<dyn Tuner>>,
+    ) -> Result<Self, ConfigError> {
+        assert!(!tuners.is_empty(), "a store needs at least one shard");
+        let trees = (0..tuners.len())
+            .map(|_| {
+                let view: Arc<dyn Storage> = ShardStorage::new(Arc::clone(&storage));
+                FlsmTree::try_new(cfg.lsm.clone(), view).map(Some)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(trees, Tuning::PerShard(tuners)))
+    }
+
+    /// Creates a sharded store with an independent Lerp instance per
+    /// shard. Shard 0 keeps `cfg.lerp.seed` unchanged — which is what
+    /// makes a one-shard per-shard store bit-identical to the global
+    /// [`ShardedRusKey::try_with_lerp`] path — and shard `i` derives its
+    /// seed as `seed + i·104729` (the same prime-stride idiom as
+    /// [`crate::tuner::PerLevelNoPropagation`]), so sibling agents
+    /// explore independently.
+    pub fn try_with_per_shard_lerp(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, ConfigError> {
+        assert!(shards >= 1, "a store needs at least one shard");
+        let tuners = (0..shards)
+            .map(|i| {
+                let mut lc = cfg.lerp.clone();
+                lc.seed = lc.seed.wrapping_add(i as u64 * 104_729);
+                Box::new(Lerp::new(lc)) as Box<dyn Tuner>
+            })
+            .collect();
+        Self::try_with_tuners(cfg, storage, tuners)
+    }
+
+    /// Panicking form of [`ShardedRusKey::try_with_per_shard_lerp`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `shards` is zero.
+    pub fn with_per_shard_lerp(
+        cfg: RusKeyConfig,
+        shards: usize,
+        storage: Arc<dyn Storage>,
+    ) -> Self {
+        Self::try_with_per_shard_lerp(cfg, shards, storage)
+            .unwrap_or_else(|e| panic!("invalid RusKeyConfig: {e}"))
+    }
+
+    /// Assembles the store around its trees and tuning, spawning the
+    /// worker pool.
+    fn assemble(trees: Vec<Option<FlsmTree>>, tuning: Tuning) -> Self {
+        let shards = trees.len();
+        Self {
             shards: trees,
             pool: WorkerPool::spawn(shards),
-            tuner,
+            tuning,
             collector: StatsCollector::new(),
             last_report: None,
             last_workers: Vec::new(),
             adhoc_scans: 0,
             adhoc_writes: vec![0; shards],
             dead_worker: None,
-        })
+            routes: RoutingTable::new(),
+            route_sources: std::collections::HashMap::new(),
+            balancer: None,
+            rebalances: 0,
+            routes_path: None,
+        }
     }
 
     /// Creates a *durable* sharded store: every shard gets its own WAL
@@ -807,6 +939,15 @@ impl ShardedRusKey {
             }
             tree.attach_wal(Wal::open_with_sync_every(path, durability.sync_every)?);
         }
+        // A fresh store starts from hash routing: a previous
+        // incarnation's re-homed keys no longer exist.
+        let routes = durability.dir.join(ROUTES_FILE);
+        match std::fs::remove_file(&routes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        store.routes_path = Some(routes);
         Ok(store)
     }
 
@@ -857,17 +998,15 @@ impl ShardedRusKey {
             )?);
             trees.push(Some(tree));
         }
-        Ok(Self {
-            shards: trees,
-            pool: WorkerPool::spawn(shards),
-            tuner,
-            collector: StatsCollector::new(),
-            last_report: None,
-            last_workers: Vec::new(),
-            adhoc_scans: 0,
-            adhoc_writes: vec![0; shards],
-            dead_worker: None,
-        })
+        let mut store = Self::assemble(trees, Tuning::Global(tuner));
+        let routes = persistence.root.join(ROUTES_FILE);
+        match std::fs::remove_file(&routes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        store.routes_path = Some(routes);
+        Ok(store)
     }
 
     /// Recovers a fully persistent sharded store after a restart: each
@@ -918,17 +1057,11 @@ impl ShardedRusKey {
                 persistence.checkpoint_every,
             )?));
         }
-        let mut store = Self {
-            shards: trees,
-            pool: WorkerPool::spawn(shards),
-            tuner,
-            collector: StatsCollector::new(),
-            last_report: None,
-            last_workers: Vec::new(),
-            adhoc_scans: 0,
-            adhoc_writes: vec![0; shards],
-            dead_worker: None,
-        };
+        let mut store = Self::assemble(trees, Tuning::Global(tuner));
+        let routes = persistence.root.join(ROUTES_FILE);
+        let entries = load_routes(&routes)?;
+        store.routes_path = Some(routes);
+        store.settle_routes(entries)?;
         store.collector.baseline_shards(store.shard_snapshots());
         Ok(store)
     }
@@ -982,17 +1115,11 @@ impl ShardedRusKey {
                 .map(Some)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let mut store = Self {
-            shards: trees,
-            pool: WorkerPool::spawn(shards),
-            tuner,
-            collector: StatsCollector::new(),
-            last_report: None,
-            last_workers: Vec::new(),
-            adhoc_scans: 0,
-            adhoc_writes: vec![0; shards],
-            dead_worker: None,
-        };
+        let mut store = Self::assemble(trees, Tuning::Global(tuner));
+        let routes = durability.dir.join(ROUTES_FILE);
+        let entries = load_routes(&routes)?;
+        store.routes_path = Some(routes);
+        store.settle_routes(entries)?;
         store.collector.baseline_shards(store.shard_snapshots());
         Ok(store)
     }
@@ -1206,19 +1333,39 @@ impl ShardedRusKey {
         Ok(commit_stats(&dones))
     }
 
-    /// The tuner's display name.
+    /// The store's tuning strategy.
+    pub fn tuner_strategy(&self) -> TunerStrategy {
+        match &self.tuning {
+            Tuning::Global(_) => TunerStrategy::Global,
+            Tuning::PerShard(_) => TunerStrategy::PerShard,
+        }
+    }
+
+    /// The tuner's display name (per-shard: the first tuner's name with
+    /// the shard count, e.g. `per-shard(lerp ×4)`).
     pub fn tuner_name(&self) -> String {
-        self.tuner.name()
+        match &self.tuning {
+            Tuning::Global(t) => t.name(),
+            Tuning::PerShard(ts) => format!("per-shard({} ×{})", ts[0].name(), ts.len()),
+        }
     }
 
-    /// Whether the tuner reports convergence.
+    /// Whether the tuner reports convergence (per-shard: *every* shard's
+    /// tuner has converged).
     pub fn tuner_converged(&self) -> bool {
-        self.tuner.converged()
+        match &self.tuning {
+            Tuning::Global(t) => t.converged(),
+            Tuning::PerShard(ts) => ts.iter().all(|t| t.converged()),
+        }
     }
 
-    /// Cumulative model-update time (Fig. 13).
+    /// Cumulative model-update time (Fig. 13; per-shard: summed over the
+    /// shard tuners).
     pub fn model_update_ns(&self) -> u64 {
-        self.tuner.model_update_ns()
+        match &self.tuning {
+            Tuning::Global(t) => t.model_update_ns(),
+            Tuning::PerShard(ts) => ts.iter().map(|t| t.model_update_ns()).sum(),
+        }
     }
 
     /// The report of the last processed mission.
@@ -1261,7 +1408,15 @@ impl ShardedRusKey {
     // ------------------------------------------------------------------
 
     fn owner(&self, key: &[u8]) -> usize {
-        shard_for_key(key, self.shards.len())
+        self.routes.shard_for(key, self.shards.len())
+    }
+
+    /// Feeds one routed point op into the balancer's sketch (no-op while
+    /// balancing is off).
+    fn observe_point_op(&mut self, key: &[u8], shard: usize) {
+        if let Some(bal) = &mut self.balancer {
+            bal.sketch.record(key, shard);
+        }
     }
 
     /// Ships one ad-hoc op to the owning shard's worker and waits for the
@@ -1308,6 +1463,7 @@ impl ShardedRusKey {
     /// Point lookup, routed to the owning shard's worker.
     pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
         let s = self.owner(key);
+        self.observe_point_op(key, s);
         match self.adhoc_one(s, AdhocOp::Get(Bytes::copy_from_slice(key))) {
             AdhocOut::Value(v) => v,
             _ => unreachable!("get replies with a value"),
@@ -1321,6 +1477,7 @@ impl ShardedRusKey {
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
+        self.observe_point_op(&key, s);
         self.adhoc_one(s, AdhocOp::Put(key, value.into()));
     }
 
@@ -1329,6 +1486,7 @@ impl ShardedRusKey {
     pub fn delete(&mut self, key: impl Into<Bytes>) {
         let key = key.into();
         let s = self.owner(&key);
+        self.observe_point_op(&key, s);
         self.adhoc_one(s, AdhocOp::Delete(key));
     }
 
@@ -1389,7 +1547,7 @@ impl ShardedRusKey {
             return Err(MissionError::WorkerUnavailable { shard });
         }
         let n = self.shards.len();
-        let shared = Arc::new(ServeShared::new(cfg, n));
+        let shared = Arc::new(ServeShared::new(cfg, n, self.routes.clone()));
         let (done_tx, done_rx) = mpsc::channel();
         let mut senders = Vec::with_capacity(n);
         for i in 0..n {
@@ -1485,7 +1643,7 @@ impl ShardedRusKey {
         let n = self.shards.len();
         let mut per_shard: Vec<Vec<(Bytes, Bytes)>> = vec![Vec::new(); n];
         for (k, v) in pairs {
-            per_shard[shard_for_key(&k, n)].push((k, v));
+            per_shard[self.routes.shard_for(&k, n)].push((k, v));
         }
         for (i, shard_pairs) in per_shard.into_iter().enumerate() {
             if !shard_pairs.is_empty() {
@@ -1501,7 +1659,12 @@ impl ShardedRusKey {
     /// the level — a lookup probes exactly one shard, so the mean run
     /// count is what the RL state's normalized `runs / T` feature
     /// expects (summing would scale it by `N` and push the tuner out of
-    /// distribution). For a one-shard store this equals
+    /// distribution) — and the per-level policy is the **modal** one
+    /// across those shards (ties break toward the smaller K). Reporting
+    /// `holders[0]`'s policy was silently wrong once per-shard tuning
+    /// let policies diverge; the mode is exact whenever shards agree
+    /// (the whole global-tuning regime) and representative otherwise.
+    /// For a one-shard store this equals
     /// [`RusKey::observe`](crate::db::RusKey::observe).
     pub fn observe(&self) -> TreeObservation {
         let trees: Vec<&FlsmTree> = (0..self.shards.len()).map(|i| self.tree(i)).collect();
@@ -1511,7 +1674,8 @@ impl ShardedRusKey {
         let mut run_counts = Vec::with_capacity(level_count);
         for i in 0..level_count {
             let holders: Vec<&&FlsmTree> = trees.iter().filter(|t| t.level_count() > i).collect();
-            policies.push(holders[0].policy(i));
+            let held: Vec<u32> = holders.iter().map(|t| t.policy(i)).collect();
+            policies.push(modal_policy(&held));
             fills.push(holders.iter().map(|t| t.level_fill(i)).sum::<f64>() / holders.len() as f64);
             let mean_runs = holders.iter().map(|t| t.level_run_count(i)).sum::<usize>() as f64
                 / holders.len() as f64;
@@ -1526,19 +1690,45 @@ impl ShardedRusKey {
         }
     }
 
-    /// Store-wide per-level policies (each level reported by the first
-    /// shard that has materialized it).
+    /// One shard's structure snapshot, built from that shard's levels
+    /// only — the observation a per-shard tuner acts on. Mirrors
+    /// [`RusKey::observe`](crate::db::RusKey::observe) exactly.
+    pub fn observe_shard(&self, idx: usize) -> TreeObservation {
+        let tree = self.tree(idx);
+        let n = tree.level_count();
+        TreeObservation {
+            policies: tree.policies(),
+            fills: (0..n).map(|i| tree.level_fill(i)).collect(),
+            run_counts: (0..n).map(|i| tree.level_run_count(i)).collect(),
+            size_ratio: tree.config().size_ratio,
+            level_count: n,
+        }
+    }
+
+    /// Store-wide per-level policies: the modal policy across the shards
+    /// holding each level (ties toward the smaller K) — exact whenever
+    /// shards agree, which is always the case under global tuning. The
+    /// per-shard truth is [`ShardedRusKey::shard_policies`].
     pub fn policies(&self) -> Vec<u32> {
         let trees: Vec<&FlsmTree> = (0..self.shards.len()).map(|i| self.tree(i)).collect();
         let level_count = trees.iter().map(|t| t.level_count()).max().unwrap_or(0);
         (0..level_count)
             .map(|i| {
-                trees
+                let held: Vec<u32> = trees
                     .iter()
-                    .find(|t| t.level_count() > i)
+                    .filter(|t| t.level_count() > i)
                     .map(|t| t.policy(i))
-                    .unwrap_or(1)
+                    .collect();
+                modal_policy(&held)
             })
+            .collect()
+    }
+
+    /// Every shard's true per-level policies, in shard order — exact
+    /// even when per-shard tuners have diverged.
+    pub fn shard_policies(&self) -> Vec<Vec<u32>> {
+        (0..self.shards.len())
+            .map(|i| self.tree(i).policies())
             .collect()
     }
 
@@ -1571,8 +1761,34 @@ impl ShardedRusKey {
             .iter()
             .filter(|op| matches!(op, Operation::Scan { .. }))
             .count() as u64;
-        let mut lanes: Vec<Option<Vec<Operation>>> =
-            partition_ops_owned(ops, n).into_iter().map(Some).collect();
+        // Feed the balancer's sketch from the routed stream (off unless
+        // balancing is armed): point ops nominate their key on their
+        // routed shard, a broadcast scan weighs every shard once.
+        if self.balancer.is_some() {
+            for op in ops {
+                match op {
+                    Operation::Get { key }
+                    | Operation::Put { key, .. }
+                    | Operation::Delete { key } => {
+                        let s = self.routes.shard_for(key, n);
+                        self.observe_point_op(key, s);
+                    }
+                    Operation::Scan { .. } => {
+                        if let Some(bal) = &mut self.balancer {
+                            for s in 0..n {
+                                bal.sketch.record_bulk(s, 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut lanes: Vec<Option<Vec<Operation>>> = self
+            .routes
+            .partition_ops_owned(ops, n)
+            .into_iter()
+            .map(Some)
+            .collect();
         let dones = match self.dispatch(|i, tree, reply| Job::Lane {
             tree,
             ops: lanes[i].take().expect("one lane per shard"),
@@ -1597,10 +1813,16 @@ impl ShardedRusKey {
         // mission's durability latency is the slowest shard's leg, the
         // total sync work the sum of all legs.
         let commit = commit_stats(&dones);
+        // Per-shard commit legs, kept for the per-shard reward slices: a
+        // shard's tuner must price *its* fsync, not the barrier max.
+        let mut legs = vec![0u64; n];
+        for d in &dones {
+            legs[d.shard] = d.commit.ns;
+        }
         let process_ns = t0.elapsed().as_nanos() as u64;
-        let mut report = self
+        let (mut report, mut slices) = self
             .collector
-            .report_mission_shards(self.shard_snapshots(), process_ns);
+            .report_mission_shards_split(self.shard_snapshots(), process_ns);
         report.commit_ns = commit.barrier_ns;
         report.commit_busy_ns = commit.busy_ns;
         // Report the *logical* scan composition (one scan per mission
@@ -1625,16 +1847,392 @@ impl ShardedRusKey {
             report.scans = logical_scans;
         }
 
-        let obs = self.observe();
-        crate::db::tune_mission(self.tuner.as_mut(), &mut report, &obs, |level, k| {
-            for tree in self.shards.iter_mut().flatten() {
-                tree.set_policy(level, k);
+        match &self.tuning {
+            Tuning::Global(_) => {
+                let obs = self.observe();
+                let Tuning::Global(tuner) = &mut self.tuning else {
+                    unreachable!("strategy checked above")
+                };
+                crate::db::tune_mission(tuner.as_mut(), &mut report, &obs, |level, k| {
+                    for tree in self.shards.iter_mut().flatten() {
+                        tree.set_policy(level, k);
+                    }
+                });
             }
-        });
+            Tuning::PerShard(_) => {
+                // Each shard's tuner sees its own reward slice (that
+                // shard's time-domain delta, with *its* commit leg — the
+                // slice's physical scan count stays: the shard really ran
+                // its broadcast leg) and its own observation, and its
+                // policy changes land only on the owning shard. Idle
+                // shards are skipped entirely: a zero-op slice carries no
+                // signal (the common case under skew), and skipping keeps
+                // the shard's agent replay clean instead of feeding it
+                // degenerate rewards.
+                let obs: Vec<TreeObservation> = (0..n).map(|i| self.observe_shard(i)).collect();
+                let Tuning::PerShard(tuners) = &mut self.tuning else {
+                    unreachable!("strategy checked above")
+                };
+                for (i, tuner) in tuners.iter_mut().enumerate() {
+                    slices[i].commit_ns = legs[i];
+                    slices[i].commit_busy_ns = legs[i];
+                    if slices[i].ops == 0 {
+                        continue;
+                    }
+                    let tree = self.shards[i]
+                        .as_mut()
+                        .expect("every tree is home after dispatch");
+                    crate::db::tune_mission(tuner.as_mut(), &mut slices[i], &obs[i], |level, k| {
+                        tree.set_policy(level, k);
+                    });
+                    report.model_update_ns += slices[i].model_update_ns;
+                }
+            }
+        }
         report.policies_after = self.policies();
+        report.shard_policies_after = self.shard_policies();
         self.last_report = Some(report.clone());
+        self.maybe_rebalance()?;
         Ok(report)
     }
+
+    // ------------------------------------------------------------------
+    // Hot-shard balancing
+    // ------------------------------------------------------------------
+
+    /// Arms hot-shard mitigation: from now on the point-op stream feeds
+    /// a [`LoadSketch`], and a mission whose recent load is imbalanced
+    /// beyond `cfg.imbalance_threshold` re-homes the hottest shard's
+    /// heaviest keys to the coldest shard (at most `cfg.max_moves` per
+    /// mission). Arming is cheap and reversible; the sketch starts
+    /// empty, so mitigation reacts only to load observed *after* this
+    /// call.
+    pub fn enable_balancing(&mut self, cfg: BalanceConfig) {
+        let n = self.shards.len();
+        self.balancer = Some(Balancer {
+            sketch: LoadSketch::new(n, cfg.capacity),
+            cfg,
+        });
+    }
+
+    /// Disarms hot-shard mitigation. Existing routing overrides remain
+    /// in force — the re-homed keys really live on their new shards.
+    pub fn disable_balancing(&mut self) {
+        self.balancer = None;
+    }
+
+    /// Balancing passes that actually migrated keys.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Number of keys currently re-homed away from their hash shard.
+    pub fn rehomed_keys(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The balancer's current view of recent load imbalance (max shard
+    /// ops over mean; 0.0 while balancing is off or nothing was
+    /// observed).
+    pub fn load_imbalance(&self) -> f64 {
+        self.balancer.as_ref().map_or(0.0, |b| b.sketch.imbalance())
+    }
+
+    /// One balancing pass, run at each mission boundary while armed.
+    ///
+    /// Migration is ordered for crash safety on a durable store:
+    ///
+    /// 1. the routing overrides — including the new moves — are written
+    ///    to the routes file *atomically* (tmp + fsync + rename) before
+    ///    any data moves; a crash here leaves overrides whose data still
+    ///    sits at the hash home, which recovery settles by redoing the
+    ///    copy;
+    /// 2. each key's value is read from the hot shard and put to its new
+    ///    home;
+    /// 3. one group-commit barrier makes the copies durable;
+    /// 4. only then are the originals tombstoned — so "delete durable
+    ///    but copy lost" is impossible even though per-shard WALs sync
+    ///    independently.
+    ///
+    /// Every step is idempotent under re-execution, which is what lets
+    /// [`ShardedRusKey::recover`]/[`recover_persistent`](ShardedRusKey::recover_persistent)
+    /// settle any half-finished pass from the routes file alone.
+    fn maybe_rebalance(&mut self) -> Result<(), MissionError> {
+        let n = self.shards.len();
+        let Some(bal) = &self.balancer else {
+            return Ok(());
+        };
+        let (threshold, min_ops, max_moves, decay) = (
+            bal.cfg.imbalance_threshold,
+            bal.cfg.min_ops,
+            bal.cfg.max_moves,
+            bal.cfg.decay,
+        );
+        let acting = n >= 2
+            && bal.sketch.total_ops() >= min_ops as f64
+            && bal.sketch.imbalance() > threshold;
+        if !acting {
+            if let Some(bal) = &mut self.balancer {
+                bal.sketch.decay(decay);
+            }
+            return Ok(());
+        }
+        let bal = self.balancer.as_ref().expect("checked above");
+        let hot = bal.sketch.hottest_shard();
+        let cold = bal.sketch.coldest_shard();
+        let candidates = bal.sketch.heavy_hitters();
+        let moves: Vec<Bytes> = candidates
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|k| self.routes.shard_for(k, n) == hot)
+            .take(max_moves)
+            .collect();
+        if let Some(bal) = &mut self.balancer {
+            bal.sketch.decay(decay);
+        }
+        if moves.is_empty() || hot == cold {
+            return Ok(());
+        }
+        // 1. Route first, durably. The reverse order could orphan a
+        // migrated key behind a stale route after a crash. Every move's
+        // source is `hot` (the filter above pinned the current route),
+        // recorded so recovery can find a half-copied value even after
+        // a chain of migrations.
+        let prior_sources: Vec<Option<usize>> = moves
+            .iter()
+            .map(|key| self.route_sources.insert(key.clone(), hot))
+            .collect();
+        for key in &moves {
+            self.routes.set(key.clone(), cold);
+        }
+        let rollback = |this: &mut Self| {
+            // Undo the overrides in memory. A chained key (already
+            // re-homed before this pass) must fall back to its *previous
+            // route* — `hot` — not to hash routing.
+            for (key, prior) in moves.iter().zip(&prior_sources) {
+                if shard_for_key(key, n) == hot {
+                    this.routes.remove(key);
+                } else {
+                    this.routes.set(key.clone(), hot);
+                }
+                match prior {
+                    Some(s) => {
+                        this.route_sources.insert(key.clone(), *s);
+                    }
+                    None => {
+                        this.route_sources.remove(key);
+                    }
+                }
+            }
+        };
+        if self.persist_routes().is_err() {
+            // Could not make the new routes durable: undo them in memory
+            // (no data has moved) and skip this pass — mitigation is
+            // best-effort, correctness is not at stake.
+            rollback(self);
+            return Ok(());
+        }
+        // 2. Copy each key to its new home (a key with no live value —
+        // deleted or never written — moves by route alone).
+        for key in &moves {
+            let v = match self.adhoc_one(hot, AdhocOp::Get(key.clone())) {
+                AdhocOut::Value(v) => v,
+                _ => unreachable!("get replies with a value"),
+            };
+            if let Some(v) = v {
+                self.adhoc_one(cold, AdhocOp::Put(key.clone(), v));
+            }
+        }
+        // 3. Copies durable before the originals go away.
+        if let Err(e) = self.try_group_commit() {
+            // The barrier failed (WAL I/O): roll the pass back so reads
+            // keep a single live copy — tombstone the copies, restore
+            // the previous routes, re-persist. Recovery from the
+            // *durable* routes file (which still names the moves)
+            // re-runs the migration idempotently, converging on the
+            // same state.
+            for key in &moves {
+                self.adhoc_one(cold, AdhocOp::Delete(key.clone()));
+            }
+            rollback(self);
+            let _ = self.persist_routes();
+            return Err(e);
+        }
+        // 4. Tombstone the originals; the re-homed copies are durable.
+        for key in &moves {
+            self.adhoc_one(hot, AdhocOp::Delete(key.clone()));
+        }
+        self.rebalances += 1;
+        Ok(())
+    }
+
+    /// Writes the routing overrides to the routes file atomically (tmp +
+    /// fsync + rename + directory fsync), one `<target> <source> <hex
+    /// key>` line per override. No-op for a non-durable store.
+    fn persist_routes(&self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let Some(path) = &self.routes_path else {
+            return Ok(());
+        };
+        let n = self.shards.len();
+        let mut buf = String::new();
+        for (key, shard) in self.routes.iter() {
+            let source = self
+                .route_sources
+                .get(key)
+                .copied()
+                .unwrap_or_else(|| shard_for_key(key, n));
+            buf.push_str(&format!("{shard} {source} "));
+            for b in key.iter() {
+                buf.push_str(&format!("{b:02x}"));
+            }
+            buf.push('\n');
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(buf.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Settles recovered routing overrides: installs each entry, then
+    /// repairs whatever state the crash left the migration in. The
+    /// routes file is always written before data moves, so the newest
+    /// durable copy is at the first live location in priority order
+    /// **target → source → hash home** (once the routes flipped, new
+    /// writes went to the target; before the copy landed, the source —
+    /// the previous route — held the latest value; a chain whose first
+    /// hop never copied still has it at home). The authoritative copy is
+    /// moved to the target, then every *other* shard's stale copy —
+    /// including intermediates of a migration chain whose tombstones
+    /// were not yet durable — is scrubbed. Every step is idempotent.
+    fn settle_routes(&mut self, entries: Vec<(Bytes, usize, usize)>) -> Result<(), OpenError> {
+        let n = self.shards.len();
+        let mut settled = 0u64;
+        for (key, target, source) in entries {
+            if target >= n || source >= n {
+                // A table written by a wider incarnation: unreachable in
+                // practice (recovery pins the shard count), but a stale
+                // entry must not panic — hash routing stays correct.
+                continue;
+            }
+            let home = shard_for_key(&key, n);
+            if home != target {
+                self.routes.set(key.clone(), target);
+                self.route_sources.insert(key.clone(), source);
+            }
+            let get = |this: &mut Self, shard: usize| match this
+                .adhoc_one(shard, AdhocOp::Get(key.clone()))
+            {
+                AdhocOut::Value(v) => v,
+                _ => unreachable!("get replies with a value"),
+            };
+            let at_target = get(self, target);
+            if at_target.is_none() {
+                let rescued = match get(self, source) {
+                    Some(v) => Some(v),
+                    None if home != source => get(self, home),
+                    None => None,
+                };
+                if let Some(v) = rescued {
+                    self.adhoc_one(target, AdhocOp::Put(key.clone(), v));
+                    settled += 1;
+                }
+            }
+            // Scrub every non-target copy: the authoritative value now
+            // lives at the target (or the key is simply dead).
+            for shard in 0..n {
+                if shard != target && get(self, shard).is_some() {
+                    self.adhoc_one(shard, AdhocOp::Delete(key.clone()));
+                    settled += 1;
+                }
+            }
+        }
+        if settled > 0 {
+            // The repairs must be durable before the store reports
+            // recovered — a crash right after recovery must not resurface
+            // the half-finished state.
+            self.try_group_commit().map_err(|e| match e {
+                MissionError::Wal { error, .. } => OpenError::Io(error),
+                other => OpenError::Io(std::io::Error::other(other.to_string())),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// File name of the persisted routing-override table, under the
+/// durability dir / persistence root. Must not match the `shard-`
+/// prefixes the recovery scans parse.
+const ROUTES_FILE: &str = "ROUTES";
+
+/// The most common policy among the shards holding a level, ties broken
+/// toward the smaller (more leveled, read-safer) K. Deterministic, and
+/// the identity whenever all shards agree — i.e. always, under global
+/// tuning.
+fn modal_policy(held: &[u32]) -> u32 {
+    let mut sorted = held.to_vec();
+    sorted.sort_unstable();
+    let mut best = (1u32, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        let run = sorted[i..].iter().take_while(|&&v| v == sorted[i]).count();
+        if run > best.1 {
+            best = (sorted[i], run);
+        }
+        i += run;
+    }
+    best.0
+}
+
+/// Loads the persisted routing overrides (`<target> <source> <hex key>`
+/// lines). A missing file is an empty table; the atomic-rename write
+/// protocol means the file is never torn, so malformed lines are a
+/// corruption signal surfaced as an error rather than skipped silently.
+fn load_routes(path: &std::path::Path) -> Result<Vec<(Bytes, usize, usize)>, OpenError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let parse = || -> Option<(Bytes, usize, usize)> {
+            let (target, rest) = line.split_once(' ')?;
+            let (source, hex) = rest.split_once(' ')?;
+            let target = target.parse::<usize>().ok()?;
+            let source = source.parse::<usize>().ok()?;
+            if !hex.len().is_multiple_of(2) {
+                return None;
+            }
+            let mut key = Vec::with_capacity(hex.len() / 2);
+            for i in (0..hex.len()).step_by(2) {
+                key.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+            }
+            Some((Bytes::from(key), target, source))
+        };
+        match parse() {
+            Some(entry) => out.push(entry),
+            None => {
+                return Err(OpenError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt routes file {}: bad line {line:?}", path.display()),
+                )))
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Folds per-shard commit legs into the barrier composition: latency is

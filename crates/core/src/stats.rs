@@ -122,8 +122,19 @@ pub struct MissionReport {
     pub real_process_ns: u64,
     /// Real wall-clock time the tuner spent updating its model (ns).
     pub model_update_ns: u64,
-    /// Policies in force *after* the tuner acted.
+    /// Policies in force *after* the tuner acted. For a sharded store
+    /// this is the per-level **modal** policy across shards; the
+    /// per-shard truth is `shard_policies_after`.
     pub policies_after: Vec<u32>,
+    /// *Physical* operations executed per shard during the mission, in
+    /// shard order (a broadcast scan counts once on every shard it
+    /// touched). Empty for reports built outside the sharded collector
+    /// path. The hot-shard balancer's detection signal.
+    pub shard_ops: Vec<u64>,
+    /// Per-shard policies in force after the tuner acted, in shard
+    /// order — exact even when per-shard tuners have diverged (the
+    /// merged `policies_after` cannot represent divergence).
+    pub shard_policies_after: Vec<Vec<u32>>,
 }
 
 impl MissionReport {
@@ -179,6 +190,20 @@ impl MissionReport {
             return 0.0;
         }
         self.levels.get(idx).map_or(0.0, |l| l.latency_ns as f64) / self.ops as f64
+    }
+
+    /// Hot-shard imbalance of the mission: max over `shard_ops` divided
+    /// by the mean. 1.0 means perfectly balanced; `n` means a single
+    /// shard absorbed all traffic. 0.0 when `shard_ops` is empty or no
+    /// shard did any work (a report from a non-sharded path).
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shard_ops.iter().sum();
+        if self.shard_ops.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let max = *self.shard_ops.iter().max().unwrap() as f64;
+        let mean = total as f64 / self.shard_ops.len() as f64;
+        max / mean
     }
 }
 
@@ -241,13 +266,55 @@ impl StatsCollector {
         end_snapshots: Vec<TreeStatsSnapshot>,
         real_process_ns: u64,
     ) -> MissionReport {
+        self.report_mission_shards_split(end_snapshots, real_process_ns)
+            .0
+    }
+
+    /// Like [`StatsCollector::report_mission_shards`] but also returns
+    /// one *slice* report per shard, each built from that shard's own
+    /// domain delta only — the per-shard reward signal for per-shard
+    /// tuners. A slice's `ops`/`scans` are the shard's **physical**
+    /// counts (a broadcast scan appears on every shard it ran on —
+    /// that is the work the shard's tuner must price). Both the merged
+    /// report and all slices carry the same `mission_idx`; the mission
+    /// counter advances once.
+    pub fn report_mission_shards_split(
+        &mut self,
+        end_snapshots: Vec<TreeStatsSnapshot>,
+        real_process_ns: u64,
+    ) -> (MissionReport, Vec<MissionReport>) {
         let zero = TreeStatsSnapshot::default();
         let deltas: Vec<TreeStatsSnapshot> = end_snapshots
             .iter()
             .enumerate()
             .map(|(i, s)| s.delta(self.last_snapshots.get(i).unwrap_or(&zero)))
             .collect();
-        let d = TreeStatsSnapshot::merge_all(&deltas);
+        let merged = Self::build_report(&deltas, &end_snapshots, self.missions, real_process_ns);
+        let slices = (0..deltas.len())
+            .map(|i| {
+                Self::build_report(
+                    std::slice::from_ref(&deltas[i]),
+                    std::slice::from_ref(&end_snapshots[i]),
+                    self.missions,
+                    real_process_ns,
+                )
+            })
+            .collect();
+        self.missions += 1;
+        self.last_snapshots = end_snapshots;
+        (merged, slices)
+    }
+
+    /// Builds one report from a set of domain deltas (merged wall = max,
+    /// busy = sum) and the matching end snapshots (source of the
+    /// lifetime counters and gauges).
+    fn build_report(
+        deltas: &[TreeStatsSnapshot],
+        end_snapshots: &[TreeStatsSnapshot],
+        mission_idx: u64,
+        real_process_ns: u64,
+    ) -> MissionReport {
+        let d = TreeStatsSnapshot::merge_all(deltas);
         let levels = d
             .levels
             .iter()
@@ -262,8 +329,8 @@ impl StatsCollector {
                 compact_keys: l.compact_keys,
             })
             .collect();
-        let report = MissionReport {
-            mission_idx: self.missions,
+        MissionReport {
+            mission_idx,
             ops: d.lookups + d.updates + d.scans,
             lookups: d.lookups,
             updates: d.updates,
@@ -296,10 +363,12 @@ impl StatsCollector {
             real_process_ns,
             model_update_ns: 0,
             policies_after: Vec::new(),
-        };
-        self.missions += 1;
-        self.last_snapshots = end_snapshots;
-        report
+            shard_ops: deltas
+                .iter()
+                .map(|x| x.lookups + x.updates + x.scans)
+                .collect(),
+            shard_policies_after: Vec::new(),
+        }
     }
 }
 
@@ -395,6 +464,44 @@ mod tests {
             r.pending_compaction_bytes, 4096,
             "a gauge reports the end-of-mission reading, not a delta"
         );
+    }
+
+    #[test]
+    fn split_reports_slice_per_shard() {
+        let mut c = StatsCollector::new();
+        c.baseline_shards(vec![snap(10, 0, 1000, 0), snap(0, 0, 200, 0)]);
+        let (merged, slices) =
+            c.report_mission_shards_split(vec![snap(12, 4, 1500, 0), snap(3, 0, 2200, 0)], 1);
+        assert_eq!(slices.len(), 2);
+        // The merged view is unchanged from report_mission_shards.
+        assert_eq!(merged.ops, 9);
+        assert_eq!(merged.end_to_end_ns, 2000);
+        assert_eq!(merged.device_busy_ns, 2500);
+        assert_eq!(merged.shard_ops, vec![6, 3]);
+        // Slices carry each shard's own delta, same mission ordinal.
+        assert_eq!(slices[0].ops, 6);
+        assert_eq!(slices[0].lookups, 2);
+        assert_eq!(slices[0].updates, 4);
+        assert_eq!(slices[0].end_to_end_ns, 500);
+        assert_eq!(slices[0].device_busy_ns, 500);
+        assert_eq!(slices[1].ops, 3);
+        assert_eq!(slices[1].end_to_end_ns, 2000);
+        assert_eq!(slices[0].mission_idx, merged.mission_idx);
+        assert_eq!(slices[1].mission_idx, merged.mission_idx);
+        // The mission counter advanced exactly once.
+        assert_eq!(c.missions(), 1);
+    }
+
+    #[test]
+    fn shard_imbalance_is_max_over_mean() {
+        let mut r = MissionReport::default();
+        assert_eq!(r.shard_imbalance(), 0.0, "no shard data");
+        r.shard_ops = vec![0, 0];
+        assert_eq!(r.shard_imbalance(), 0.0, "no work");
+        r.shard_ops = vec![5, 5, 5, 5];
+        assert!((r.shard_imbalance() - 1.0).abs() < 1e-12, "balanced");
+        r.shard_ops = vec![12, 0, 0, 0];
+        assert!((r.shard_imbalance() - 4.0).abs() < 1e-12, "one hot shard");
     }
 
     #[test]

@@ -389,7 +389,17 @@ impl Default for RewardScale {
 
 impl RewardScale {
     /// Converts a cost (ns/op) into a negative reward, updating the scale.
+    ///
+    /// Degenerate observations are skipped entirely: a zero-op mission
+    /// slice reports a `0.0` ns/op cost (and a malformed one could report
+    /// `NaN`/`inf`), which would otherwise drag the EMA toward zero — and
+    /// with it every later reward toward the `-10` clamp. Idle shards are
+    /// the *common* case under skewed per-shard tuning, so such costs
+    /// return a neutral reward and leave the scale untouched.
     pub fn reward(&mut self, cost: f64) -> f32 {
+        if !cost.is_finite() || cost <= 0.0 {
+            return 0.0;
+        }
         if self.ema == 0.0 {
             self.ema = cost.max(1e-9);
         } else {
@@ -512,6 +522,27 @@ mod tests {
         // A cost 10x the EMA gives a strongly negative (but clamped) reward.
         let r2 = rs.reward(1e7);
         assert!((-10.0..-5.0).contains(&r2));
+    }
+
+    /// Degenerate costs (zero-op slices, NaN, inf) must neither poison
+    /// the EMA nor produce a non-neutral reward — an idle shard's slice
+    /// is the common case under per-shard tuning with skew.
+    #[test]
+    fn reward_scale_skips_degenerate_costs() {
+        let mut rs = RewardScale::default();
+        assert_eq!(rs.reward(0.0), 0.0, "zero cost is neutral");
+        assert_eq!(rs.reward(-5.0), 0.0, "negative cost is neutral");
+        assert_eq!(rs.reward(f64::NAN), 0.0, "NaN cost is neutral");
+        assert_eq!(rs.reward(f64::INFINITY), 0.0, "inf cost is neutral");
+        // The scale is still unseeded: the first real cost normalizes to
+        // ≈ -1 exactly as if the degenerate ones never happened.
+        let r = rs.reward(1e6);
+        assert!((r + 1.0).abs() < 1e-6, "EMA was poisoned: {r}");
+        // And interleaved zero-op slices don't drag the EMA afterwards.
+        rs.reward(0.0);
+        let r2 = rs.reward(1e6);
+        assert!((-1.2..=0.0).contains(&r2), "EMA drifted: {r2}");
+        assert!(r2.is_finite());
     }
 
     #[test]

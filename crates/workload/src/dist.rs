@@ -65,7 +65,11 @@ fn zeta(n: u64, theta: f64) -> f64 {
 impl ZipfState {
     fn new(n: u64, theta: f64) -> Self {
         assert!(n >= 1);
-        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        // The supported range is the half-open [0, 1): `theta = 0`
+        // degenerates cleanly to the uniform distribution (`alpha = 1`,
+        // `eta = 1`, so ranks are `n·u`), while `theta = 1` divides by
+        // zero in `alpha = 1/(1-theta)`.
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -270,6 +274,30 @@ mod tests {
         for _ in 0..100 {
             assert!(s.sample(&mut rng) < 2);
         }
+    }
+
+    /// `theta = 0` sits *inside* the supported range and degenerates to
+    /// the uniform distribution (after the scramble bijection, which is
+    /// measure-preserving) — pinning that the accepted range really is
+    /// the half-open `[0, 1)`.
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let s = KeySampler::new(100, KeyDistribution::Zipfian { theta: 0.0 });
+        let h = histogram(&s, 100_000, 100);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < 2 * *min, "theta=0 must be uniform, got {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0, 1)")]
+    fn zipf_theta_one_is_rejected() {
+        let _ = KeySampler::new(100, KeyDistribution::Zipfian { theta: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0, 1)")]
+    fn zipf_negative_theta_is_rejected() {
+        let _ = KeySampler::new(100, KeyDistribution::Latest { theta: -0.1 });
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //! [`storage::ShardStorage`] view with a private virtual clock), so
 //! per-shard and per-level time attribution is exact under parallelism;
 //! domains compose store-wide into mission wall time (max) and
-//! device-busy time (sum). A single global tuner ([`ruskey::lerp`] or a
-//! baseline) observes the shard-merged statistics and fans its per-level
-//! policy changes out to every shard, so the paper's tuning loop is
-//! unchanged. [`ruskey::db::RusKey`] remains the single-tree `N = 1` case
+//! device-busy time (sum). Tuning follows a
+//! [`ruskey::sharded::TunerStrategy`]: `Global` keeps the paper's loop —
+//! one agent ([`ruskey::lerp`] or a baseline) observes the shard-merged
+//! statistics and fans its per-level policy changes out to every shard —
+//! while `PerShard` gives every shard its own agent fed by that shard's
+//! exact signal (see the tuning section below).
+//! [`ruskey::db::RusKey`] remains the single-tree `N = 1` case
 //! used by all paper experiments; `tests/sharded_equivalence.rs` asserts
 //! the two are observationally equivalent, `tests/time_domains.rs`
 //! asserts per-shard accounting exactness at `N ∈ {2, 4}`, and
@@ -260,6 +263,52 @@
 //! greps: zero divergence from the shadow model, writes-per-commit
 //! coalescing above 1 at clients ≫ shards, crash durability, and
 //! admission accounting must all hold.
+//!
+//! # Per-shard learned tuning & hot-shard balance
+//!
+//! Under skewed key popularity the shards see *different* workloads, so
+//! one store-wide policy is the wrong answer for somebody.
+//! [`ruskey::sharded::TunerStrategy::PerShard`]
+//! ([`ShardedRusKey::with_per_shard_lerp`](ruskey::sharded::ShardedRusKey::with_per_shard_lerp))
+//! runs one Lerp agent per shard, and the signal path is exact rather
+//! than averaged: each agent is rewarded from its shard's **reward
+//! slice** — the shard's own time-domain delta with its own commit leg,
+//! split out by the stats collector instead of merged — observes its
+//! own [`ruskey::tuner::TreeObservation`], and lands policy changes
+//! only on the owning shard ([`ruskey::sharded::ShardedRusKey::shard_policies`]
+//! and [`ruskey::stats::MissionReport::shard_policies_after`] expose the
+//! per-shard result). Idle shards are skipped — a zero-op slice carries
+//! no signal, and skipping keeps a cold shard's replay buffer clean
+//! under skew. At `N = 1` the per-shard strategy is **bit-identical**
+//! to the global one (same seed, same slice, same observation), so it
+//! is a strict generalization of the paper's loop, not a second code
+//! path.
+//!
+//! Skew is also attacked structurally: hot-shard **mitigation**
+//! ([`ruskey::sharded::ShardedRusKey::enable_balancing`]) feeds the
+//! routed point-op stream into a Misra-Gries heavy-hitter sketch
+//! ([`workload::routing::LoadSketch`]), and a mission whose recent load
+//! imbalance crosses the configured threshold re-homes the hottest
+//! shard's heaviest keys to the coldest shard through a
+//! [`workload::routing::RoutingTable`] of per-key overrides consulted
+//! by every path (missions, ad-hoc ops, and the serving frontend, whose
+//! per-shard `shard_ops` counters and
+//! [`ruskey::frontend::MetricsSnapshot::shard_imbalance`] surface the
+//! skew live). On a durable store migration is crash-safe by ordering:
+//! the override — including the shard it was moved *from* — is
+//! persisted atomically **before** any data moves, then copy, commit
+//! barrier, and only then the tombstone; recovery settles whatever a
+//! crash left behind by re-copying from the newest live location
+//! (target, then source, then hash home) and scrubbing every stale
+//! copy, so chained migrations can never resurrect an old value.
+//!
+//! The contract is pinned by `tests/tuning_equivalence.rs` (`N = 1`
+//! bit-identity, a proptest that mitigation is observationally
+//! invisible under churn, and interrupted-migration recovery) and the
+//! `repro tuning --json` experiment, whose `tuning_ok` verdict CI
+//! greps: uniform workloads must show strategy parity, per-shard must
+//! finish win-or-tie on skewed and shifting workloads, and armed
+//! mitigation must actually migrate and drop the observed imbalance.
 
 pub use ruskey;
 pub use ruskey_analysis as analysis;
